@@ -1,0 +1,67 @@
+// Command pierbench regenerates the paper's tables and figures. Run with
+// -exp to select an experiment (table1, fig1, fig2, fig4, fig5, fig6, fig7,
+// fig8, all) and -preset quick|standard for the dataset scales.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pier/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table1, fig1, fig2, fig4, fig5, fig6, fig7, fig8, all")
+	preset := flag.String("preset", "standard", "dataset scale preset: quick or standard")
+	seed := flag.Int64("seed", 1, "dataset generation seed")
+	curves := flag.String("curves", "", "directory to dump full PC curves as CSV (optional)")
+	flag.Parse()
+
+	var opt experiments.Options
+	switch *preset {
+	case "quick":
+		opt = experiments.Quick()
+	case "standard":
+		opt = experiments.Standard()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+	opt.Seed = *seed
+	if *curves != "" {
+		if err := os.MkdirAll(*curves, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opt.CurveDir = *curves
+	}
+
+	runners := map[string]func(){
+		"table1": func() { experiments.Table1(os.Stdout, opt) },
+		"fig1":   func() { experiments.Fig1(os.Stdout, opt) },
+		"fig2":   func() { experiments.Fig2(os.Stdout, opt) },
+		"fig4":   func() { experiments.Fig4(os.Stdout, opt) },
+		"fig5":   func() { experiments.Fig5(os.Stdout, opt) },
+		"fig6":   func() { experiments.Fig6(os.Stdout, opt) },
+		"fig7":   func() { experiments.Fig7(os.Stdout, opt) },
+		"fig8":   func() { experiments.Fig8(os.Stdout, opt) },
+	}
+	order := []string{"table1", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8"}
+	if *exp == "all" {
+		start := time.Now()
+		for _, name := range order {
+			runners[name]()
+			fmt.Println()
+		}
+		fmt.Fprintf(os.Stderr, "all experiments done in %v\n", time.Since(start))
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	run()
+}

@@ -1,0 +1,36 @@
+// Command piercal calibrates experiment budgets: it reports the virtual time
+// plain batch ER needs to complete each generated dataset under both match
+// functions, the anchor from which experiment budgets are chosen.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pier/internal/baseline"
+	"pier/internal/core"
+	"pier/internal/dataset"
+	"pier/internal/match"
+	"pier/internal/stream"
+)
+
+func main() {
+	preset := flag.String("preset", "quick", "quick or standard scales")
+	flag.Parse()
+	type scales struct{ da, mv, cs, wd float64 }
+	sc := scales{0.25, 0.04, 0.002, 0.0008}
+	if *preset == "standard" {
+		sc = scales{1, 0.1, 0.005, 0.002}
+	}
+	for _, d := range []*dataset.Dataset{
+		dataset.DA(sc.da, 1), dataset.Movies(sc.mv, 1), dataset.Census(sc.cs, 1), dataset.WebData(sc.wd, 1),
+	} {
+		for _, kind := range []match.Kind{match.JS, match.ED} {
+			cfg := stream.DefaultConfig(d.CleanClean, kind, d.GroundTruth)
+			res := stream.Run(baseline.NewBatch(core.DefaultConfig()), stream.Schedule(d.Increments(1), 0), cfg)
+			fmt.Fprintf(os.Stdout, "%-10s %s: batch completes in %12v  (%8d cmps, PC %.3f)\n",
+				d.Name, kind, res.Elapsed, res.Comparisons, res.Curve.FinalPC())
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command pierplot renders PC curves exported by pierbench -curves as ASCII
+// charts — a terminal rendition of the paper's figures.
+//
+//	pierbench -preset quick -exp fig7 -curves out/
+//	pierplot -dir out -prefix fig7-webdata-ED            # PC over time
+//	pierplot -dir out -prefix fig7-webdata-ED -x cmps    # PC over comparisons
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pier/internal/plot"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory containing pierbench curve CSVs")
+	prefix := flag.String("prefix", "", "file-name prefix selecting the series to plot (e.g. fig7-webdata-ED)")
+	xaxis := flag.String("x", "time", "x-axis: time (seconds) or cmps (comparisons)")
+	width := flag.Int("w", 72, "plot width in characters")
+	height := flag.Int("h", 18, "plot height in characters")
+	flag.Parse()
+
+	entries, err := os.ReadDir(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasPrefix(name, *prefix) && strings.HasSuffix(name, ".csv") {
+			files = append(files, name)
+		}
+	}
+	if len(files) == 0 {
+		fmt.Fprintf(os.Stderr, "pierplot: no %q*.csv files in %s (run pierbench with -curves first)\n", *prefix, *dir)
+		os.Exit(1)
+	}
+	sort.Strings(files)
+
+	var series []plot.Series
+	for _, name := range files {
+		pts, err := readCurve(filepath.Join(*dir, name), *xaxis == "cmps")
+		if err != nil {
+			fatal(err)
+		}
+		label := strings.TrimSuffix(strings.TrimPrefix(name, *prefix), ".csv")
+		label = strings.Trim(label, "-_")
+		if label == "" {
+			label = name
+		}
+		series = append(series, plot.Series{Label: label, Points: pts})
+	}
+	xLabel := "virtual seconds"
+	if *xaxis == "cmps" {
+		xLabel = "comparisons"
+	}
+	fmt.Printf("PC over %s — %s (%d series)\n\n", xLabel, *prefix, len(series))
+	fmt.Print(plot.Render(series, *width, *height))
+}
+
+// readCurve parses one pierbench curve CSV (seconds,comparisons,found,pc).
+func readCurve(path string, byCmps bool) ([]plot.Point, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	recs, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("pierplot: %s: %w", path, err)
+	}
+	var pts []plot.Point
+	for i, rec := range recs {
+		if i == 0 || len(rec) < 4 {
+			continue // header
+		}
+		x, err1 := strconv.ParseFloat(rec[0], 64)
+		c, err2 := strconv.ParseFloat(rec[1], 64)
+		y, err3 := strconv.ParseFloat(rec[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("pierplot: %s line %d: malformed row", path, i+1)
+		}
+		if byCmps {
+			x = c
+		}
+		pts = append(pts, plot.Point{X: x, Y: y})
+	}
+	return pts, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pierplot:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+package pier_test
+
+import (
+	"fmt"
+	"sort"
+
+	"pier"
+)
+
+// ExampleResolve deduplicates a static catalog across two sources in one
+// call.
+func ExampleResolve() {
+	profiles := []pier.Profile{
+		{Key: "cat-1", Attributes: pier.Attr("title", "Apple iPhone 13 Pro 128GB")},
+		{Key: "cat-2", Attributes: pier.Attr("title", "Sony WH-1000XM4 Headphones")},
+		{Key: "web-1", SourceB: true, Attributes: pier.Attr("name", "iphone 13 pro 128 gb by apple")},
+	}
+	matches, _, err := pier.Resolve(profiles, pier.Options{CleanClean: true})
+	if err != nil {
+		panic(err)
+	}
+	keys := make([]string, 0, len(matches))
+	for _, m := range matches {
+		a, b := m.X.Key, m.Y.Key
+		if b < a {
+			a, b = b, a
+		}
+		keys = append(keys, a+" == "+b)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k)
+	}
+	// Output:
+	// cat-1 == web-1
+}
+
+// ExamplePipeline_Clusters resolves a dirty dataset incrementally and reads
+// the resulting entity clusters.
+func ExamplePipeline_Clusters() {
+	p, err := pier.NewPipeline(pier.Options{Algorithm: pier.IPES})
+	if err != nil {
+		panic(err)
+	}
+	p.Push([]pier.Profile{
+		{Key: "crm-7", Attributes: pier.Attr("name", "jon smith", "city", "berlin")},
+		{Key: "web-3", Attributes: pier.Attr("name", "maria garcia", "city", "madrid")},
+	})
+	p.Push([]pier.Profile{
+		{Key: "erp-2", Attributes: pier.Attr("name", "john smith", "city", "berlin")},
+	})
+	p.Stop()
+	for _, cluster := range p.Clusters() {
+		keys := make([]string, len(cluster))
+		for i, member := range cluster {
+			keys[i] = member.Key
+		}
+		sort.Strings(keys)
+		fmt.Println(keys)
+	}
+	// Output:
+	// [crm-7 erp-2]
+}

@@ -1,0 +1,102 @@
+// Fincrime: the paper's anti-financial-crime motivation. Account-opening
+// events stream in from several systems; the earlier two profiles of the
+// same actor are linked, the earlier suspicious structuring can be blocked.
+//
+// The example streams synthetic KYC events through a live PIER pipeline and
+// prints an alert the moment two profiles resolve to the same actor —
+// demonstrating early quality: matches surface while the stream is still
+// running, not after a nightly batch.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"pier"
+)
+
+// actor is a synthetic bad (or benign) actor who opens accounts under
+// slightly varying identities.
+type actor struct {
+	name    string
+	dob     string
+	street  string
+	city    string
+	suspect bool
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	actors := []actor{
+		{"viktor reznik", "1978-03-14", "12 canal street", "rotterdam", true},
+		{"amelia hart", "1991-11-02", "88 birch avenue", "leeds", false},
+		{"dmitri volkov", "1983-07-29", "5 harbor road", "tallinn", true},
+		{"sofia lindqvist", "1989-01-21", "23 pine way", "malmo", false},
+		{"viktor reznik", "1978-03-14", "14 canal street", "rotterdam", true}, // same actor, new address
+	}
+
+	alerts := 0
+	p, err := pier.NewPipeline(pier.Options{
+		Algorithm: pier.IPES,
+		TickEvery: 5 * time.Millisecond,
+		OnMatch: func(m pier.Match) {
+			alerts++
+			fmt.Printf("  ALERT #%d: %s and %s resolve to the same actor (sim %.2f)\n",
+				alerts, m.X.Key, m.Y.Key, m.Similarity)
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Each actor opens several accounts over time, each at a different
+	// institution with slightly corrupted details (typos, reordered
+	// fields) — the classic layering pattern.
+	event := 0
+	for round := 0; round < 3; round++ {
+		for i, a := range actors {
+			if !a.suspect && round > 0 {
+				continue // benign actors open one account
+			}
+			event++
+			key := fmt.Sprintf("evt-%03d/%s-acct%d", event, strings.Fields(a.name)[0], round)
+			p.Push([]pier.Profile{{
+				Key: key,
+				Attributes: pier.Attr(
+					"customer_name", corrupt(rng, a.name),
+					"birth_date", a.dob,
+					"residential_address", corrupt(rng, a.street+" "+a.city),
+					"institution", fmt.Sprintf("bank-%02d", (i+round*3)%7),
+				),
+			}})
+			// Events trickle in; the pipeline keeps comparing the most
+			// promising pairs between arrivals.
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	summary := p.Stop()
+	fmt.Printf("\nprocessed %d account events, %d comparisons, %d identity links, %v\n",
+		summary.Profiles, summary.Comparisons, summary.Matches, summary.Elapsed.Round(time.Millisecond))
+	if alerts == 0 {
+		fmt.Println("no alerts raised — unexpected for this scenario")
+	}
+}
+
+// corrupt applies a small typo to one word of s with 30% probability.
+func corrupt(rng *rand.Rand, s string) string {
+	words := strings.Fields(s)
+	if len(words) == 0 || rng.Float64() > 0.3 {
+		return s
+	}
+	i := rng.Intn(len(words))
+	w := words[i]
+	if len(w) > 3 {
+		j := 1 + rng.Intn(len(w)-2)
+		w = w[:j] + w[j+1:] // drop one letter
+	}
+	words[i] = w
+	return strings.Join(words, " ")
+}

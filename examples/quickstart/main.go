@@ -1,0 +1,55 @@
+// Quickstart: deduplicate a small product catalog across two sources with
+// the public pier API. Demonstrates the one-shot Resolve call, Clean-Clean
+// ER, and reading match results.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pier"
+)
+
+func main() {
+	// Source A: a curated catalog. Source B: scraped listings with messy,
+	// differently-named attributes. No shared schema is required — pier is
+	// schema-agnostic and matches on value tokens.
+	profiles := []pier.Profile{
+		{Key: "cat-1", Attributes: pier.Attr(
+			"title", "Apple iPhone 13 Pro 128GB Graphite",
+			"brand", "Apple")},
+		{Key: "cat-2", Attributes: pier.Attr(
+			"title", "Samsung Galaxy S21 Ultra 256GB Phantom Black",
+			"brand", "Samsung")},
+		{Key: "cat-3", Attributes: pier.Attr(
+			"title", "Sony WH-1000XM4 Wireless Noise Cancelling Headphones",
+			"brand", "Sony")},
+
+		{Key: "web-1", SourceB: true, Attributes: pier.Attr(
+			"name", "iphone 13 pro graphite 128 gb (apple)",
+			"seller", "phonedeals24")},
+		{Key: "web-2", SourceB: true, Attributes: pier.Attr(
+			"name", "galaxy s21 ultra 256 gb phantom black by samsung",
+			"condition", "new")},
+		{Key: "web-3", SourceB: true, Attributes: pier.Attr(
+			"name", "bose quietcomfort 45 headphones",
+			"seller", "audioworld")},
+	}
+
+	matches, summary, err := pier.Resolve(profiles, pier.Options{
+		Algorithm:  pier.IPES, // the paper's recommended strategy
+		CleanClean: true,      // match across the two sources only
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("resolved %d profiles with %d comparisons in %v\n",
+		summary.Profiles, summary.Comparisons, summary.Elapsed)
+	for _, m := range matches {
+		fmt.Printf("  %s == %s (similarity %.2f)\n", m.X.Key, m.Y.Key, m.Similarity)
+	}
+	if len(matches) == 0 {
+		fmt.Println("  no duplicates found")
+	}
+}

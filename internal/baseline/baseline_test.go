@@ -1,0 +1,306 @@
+package baseline
+
+import (
+	"testing"
+
+	"pier/internal/blocking"
+	"pier/internal/core"
+	"pier/internal/metablocking"
+	"pier/internal/profile"
+)
+
+func mk(id int, src profile.Source, val string) *profile.Profile {
+	return profile.New(id, src, "", "attr", val)
+}
+
+func testConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Beta = 0
+	return cfg
+}
+
+func world(t *testing.T) (*blocking.Collection, []*profile.Profile) {
+	t.Helper()
+	c := blocking.NewCollection(true, 0)
+	ps := []*profile.Profile{
+		mk(1, profile.SourceA, "matrix sequel film"),
+		mk(2, profile.SourceB, "matrix sequel movie"),
+		mk(3, profile.SourceB, "matrix trilogy"),
+		mk(4, profile.SourceA, "rare token"),
+		mk(5, profile.SourceB, "rare token"),
+	}
+	for _, p := range ps {
+		c.Add(p)
+	}
+	return c, ps
+}
+
+// expected cross-source sharing pairs of world: (1,2) w2, (1,3) w1, (4,5) w2.
+func wantPairs() []uint64 {
+	return []uint64{profile.PairKey(1, 2), profile.PairKey(1, 3), profile.PairKey(4, 5)}
+}
+
+func drain(s core.Strategy) []metablocking.Comparison {
+	var out []metablocking.Comparison
+	for {
+		c, ok := s.Dequeue()
+		if !ok {
+			return out
+		}
+		out = append(out, c)
+	}
+}
+
+func TestIBaseFIFOAndComplete(t *testing.T) {
+	s := NewIBase(testConfig())
+	col, ps := world(t)
+	s.UpdateIndex(col, ps)
+	got := drain(s)
+	if len(got) != 3 {
+		t.Fatalf("I-BASE emitted %d comparisons, want 3: %v", len(got), got)
+	}
+	seen := map[uint64]bool{}
+	for _, c := range got {
+		seen[c.Key()] = true
+	}
+	for _, k := range wantPairs() {
+		if !seen[k] {
+			t.Errorf("I-BASE missed pair %d", k)
+		}
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	if s.KPolicy().K() < 1<<29 {
+		t.Error("I-BASE K policy must be effectively unbounded")
+	}
+}
+
+func TestIBaseIgnoresTicks(t *testing.T) {
+	s := NewIBase(testConfig())
+	col, ps := world(t)
+	s.UpdateIndex(col, ps)
+	drain(s)
+	if cost := s.UpdateIndex(col, nil); cost != 0 {
+		t.Errorf("tick cost = %v, want 0", cost)
+	}
+	if s.Pending() != 0 {
+		t.Error("tick generated work for I-BASE")
+	}
+}
+
+func TestPPSGlobalOrderingAndCompleteness(t *testing.T) {
+	s := NewPPS(testConfig(), ScopeGlobal, "PPS")
+	if s.Name() != "PPS" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	col, ps := world(t)
+	cost := s.UpdateIndex(col, ps)
+	if cost <= 0 {
+		t.Error("PPS initialization must charge cost")
+	}
+	got := drain(s)
+	if len(got) != 3 {
+		t.Fatalf("PPS emitted %d, want 3: %v", len(got), got)
+	}
+	// Phase 1 emits each profile's best comparison, best first: the two
+	// weight-2 pairs must come before the weight-1 pair.
+	if got[2].Key() != profile.PairKey(1, 3) {
+		t.Errorf("PPS emission order %v: weight-1 pair must come last", got)
+	}
+}
+
+func TestPPSGlobalRebuildSkipsExecuted(t *testing.T) {
+	s := NewPPS(testConfig(), ScopeGlobal, "")
+	col, ps := world(t)
+	s.UpdateIndex(col, ps)
+	first, ok := s.Dequeue()
+	if !ok {
+		t.Fatal("no first comparison")
+	}
+	// New increment arrives; plan is rebuilt but the executed pair must not
+	// be re-emitted.
+	p6 := mk(6, profile.SourceB, "sequel film")
+	col.Add(p6)
+	s.UpdateIndex(col, []*profile.Profile{p6})
+	for _, c := range drain(s) {
+		if c.Key() == first.Key() {
+			t.Fatalf("rebuild re-emitted executed pair %v", c)
+		}
+	}
+}
+
+func TestPPSGlobalTickIsFree(t *testing.T) {
+	s := NewPPS(testConfig(), ScopeGlobal, "")
+	col, ps := world(t)
+	s.UpdateIndex(col, ps)
+	if cost := s.UpdateIndex(col, nil); cost != 0 {
+		t.Errorf("tick rebuilt the plan (cost %v)", cost)
+	}
+}
+
+func TestPPSLocalMissesCrossIncrementPairs(t *testing.T) {
+	s := NewPPS(testConfig(), ScopeLocal, "")
+	if s.Name() != "PPS-LOCAL" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	col := blocking.NewCollection(true, 0)
+	inc1 := []*profile.Profile{mk(1, profile.SourceA, "matrix sequel film")}
+	for _, p := range inc1 {
+		col.Add(p)
+	}
+	s.UpdateIndex(col, inc1)
+	if got := drain(s); len(got) != 0 {
+		t.Errorf("increment 1 emissions = %v", got)
+	}
+	inc2 := []*profile.Profile{mk(2, profile.SourceB, "matrix sequel movie")}
+	for _, p := range inc2 {
+		col.Add(p)
+	}
+	s.UpdateIndex(col, inc2)
+	// The duplicate spans increments: LOCAL must not find it.
+	if got := drain(s); len(got) != 0 {
+		t.Errorf("PPS-LOCAL found cross-increment pairs: %v", got)
+	}
+	// But a pair inside one increment is found.
+	inc3 := []*profile.Profile{
+		mk(3, profile.SourceA, "rare token"),
+		mk(4, profile.SourceB, "rare token"),
+	}
+	for _, p := range inc3 {
+		col.Add(p)
+	}
+	s.UpdateIndex(col, inc3)
+	got := drain(s)
+	if len(got) != 1 || got[0].Key() != profile.PairKey(3, 4) {
+		t.Errorf("PPS-LOCAL intra-increment emission = %v, want (3,4)", got)
+	}
+}
+
+func TestPBSSmallestBlockFirst(t *testing.T) {
+	s := NewPBS(testConfig(), ScopeGlobal, "PBS")
+	col, ps := world(t)
+	s.UpdateIndex(col, ps)
+	got := drain(s)
+	if len(got) != 3 {
+		t.Fatalf("PBS emitted %d, want 3: %v", len(got), got)
+	}
+	// Size-2 blocks (film+?/rare/token/sequel...) come before the size-3
+	// matrix block; the matrix-only pair (1,3) must therefore come last.
+	if got[2].Key() != profile.PairKey(1, 3) {
+		t.Errorf("PBS order = %v; matrix-block pair must be last", got)
+	}
+	for i, c := range got[1:] {
+		if c.BSize < got[i].BSize {
+			t.Errorf("PBS emitted block sizes out of order: %v", got)
+		}
+	}
+}
+
+func TestPBSLocalAndRebuild(t *testing.T) {
+	s := NewPBS(testConfig(), ScopeLocal, "")
+	if s.Name() != "PBS-LOCAL" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	col := blocking.NewCollection(true, 0)
+	inc := []*profile.Profile{
+		mk(1, profile.SourceA, "shared stuff"),
+		mk(2, profile.SourceB, "shared stuff"),
+	}
+	for _, p := range inc {
+		col.Add(p)
+	}
+	s.UpdateIndex(col, inc)
+	got := drain(s)
+	if len(got) != 1 || got[0].Key() != profile.PairKey(1, 2) {
+		t.Errorf("PBS-LOCAL = %v", got)
+	}
+}
+
+func TestBatchEmitsEverythingOnce(t *testing.T) {
+	s := NewBatch(testConfig())
+	col, ps := world(t)
+	s.UpdateIndex(col, ps)
+	got := drain(s)
+	if len(got) != 3 {
+		t.Fatalf("BATCH emitted %d, want 3", len(got))
+	}
+	seen := map[uint64]bool{}
+	for _, c := range got {
+		if seen[c.Key()] {
+			t.Errorf("duplicate emission %v", c)
+		}
+		seen[c.Key()] = true
+	}
+	// Rebuild after new data must not repeat executed pairs.
+	p6 := mk(6, profile.SourceA, "matrix")
+	col.Add(p6)
+	s.UpdateIndex(col, []*profile.Profile{p6})
+	for _, c := range drain(s) {
+		if seen[c.Key()] {
+			t.Errorf("rebuild re-emitted %v", c)
+		}
+	}
+}
+
+func TestScopeString(t *testing.T) {
+	if ScopeGlobal.String() != "GLOBAL" || ScopeLocal.String() != "LOCAL" {
+		t.Error("Scope strings wrong")
+	}
+}
+
+func TestPBSGlobalTickFree(t *testing.T) {
+	s := NewPBS(testConfig(), ScopeGlobal, "")
+	col, ps := world(t)
+	s.UpdateIndex(col, ps)
+	if cost := s.UpdateIndex(col, nil); cost != 0 {
+		t.Errorf("PBS tick rebuilt the plan (cost %v)", cost)
+	}
+}
+
+func TestPBSLocalTickFree(t *testing.T) {
+	s := NewPBS(testConfig(), ScopeLocal, "")
+	if cost := s.UpdateIndex(blocking.NewCollection(true, 0), nil); cost != 0 {
+		t.Errorf("PBS-LOCAL tick cost = %v", cost)
+	}
+}
+
+func TestBatchTickFree(t *testing.T) {
+	s := NewBatch(testConfig())
+	col, ps := world(t)
+	s.UpdateIndex(col, ps)
+	drain(s)
+	if cost := s.UpdateIndex(col, nil); cost != 0 {
+		t.Errorf("BATCH tick rebuilt (cost %v)", cost)
+	}
+	if s.Pending() != 0 {
+		t.Error("tick created work")
+	}
+}
+
+func TestIBaseFIFOOrderPreserved(t *testing.T) {
+	// I-BASE executes comparisons in generation order, not weight order:
+	// feed two increments and confirm the first increment's comparisons
+	// come out before the second's.
+	s := NewIBase(testConfig())
+	col := blocking.NewCollection(true, 0)
+	inc1 := []*profile.Profile{
+		mk(1, profile.SourceA, "alpha beta"),
+		mk(2, profile.SourceB, "alpha"),
+	}
+	for _, p := range inc1 {
+		col.Add(p)
+	}
+	s.UpdateIndex(col, inc1)
+	inc2 := []*profile.Profile{
+		mk(3, profile.SourceB, "alpha beta"), // stronger pair with 1
+	}
+	for _, p := range inc2 {
+		col.Add(p)
+	}
+	s.UpdateIndex(col, inc2)
+	first, ok := s.Dequeue()
+	if !ok || first.Key() != profile.PairKey(1, 2) {
+		t.Errorf("I-BASE first = %v, want FIFO pair (1,2) despite (1,3) weighing more", first)
+	}
+}

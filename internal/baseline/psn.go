@@ -1,0 +1,186 @@
+package baseline
+
+import (
+	"sort"
+	"time"
+
+	"pier/internal/blocking"
+	"pier/internal/core"
+	"pier/internal/metablocking"
+	"pier/internal/profile"
+)
+
+// PSN implements the two schema-agnostic Progressive Sorted Neighborhood
+// variants of Simonini et al. (TKDE 2019), the paper's reference [36]:
+// Local Schema-Agnostic PSN (LS-PSN) and Global Schema-Agnostic PSN (GS-PSN).
+//
+// Both build the sorted neighborhood list: one entry per (blocking key,
+// profile) pair, sorted lexicographically by key, so that profiles with
+// similar keys become positional neighbors even when they share no exact
+// token. Candidates are pairs of entries within a window of w positions.
+//
+//   - LS-PSN emits windows incrementally: all pairs at distance 1 first,
+//     then distance 2, and so on up to MaxWindow — the window *is* the
+//     prioritization, no weights are materialized.
+//   - GS-PSN precomputes, for every pair occurring within MaxWindow, an
+//     aggregate weight Σ (MaxWindow − d + 1) over all co-occurrence
+//     distances d, then emits globally by descending weight — better order,
+//     higher initialization cost.
+//
+// The paper's evaluation uses PPS and PBS as the stronger [36] baselines;
+// PSN is provided for completeness of the baseline suite and for the
+// neighborhood-vs-blocking ablation.
+type PSN struct {
+	cfg core.Config
+	// Global selects GS-PSN; false is LS-PSN.
+	Global bool
+	// MaxWindow is the largest neighborhood distance considered (>= 1).
+	MaxWindow int
+	label     string
+
+	emission    []metablocking.Comparison
+	head        int
+	executed    map[uint64]struct{}
+	lastVersion uint64
+	initialized bool
+}
+
+// DefaultPSNWindow is the default maximum sliding-window distance.
+const DefaultPSNWindow = 10
+
+// NewPSN returns a PSN baseline. global selects GS-PSN over LS-PSN; window
+// <= 0 uses DefaultPSNWindow.
+func NewPSN(cfg core.Config, global bool, window int) *PSN {
+	if window <= 0 {
+		window = DefaultPSNWindow
+	}
+	label := "LS-PSN"
+	if global {
+		label = "GS-PSN"
+	}
+	return &PSN{
+		cfg:       cfg,
+		Global:    global,
+		MaxWindow: window,
+		label:     label,
+		executed:  make(map[uint64]struct{}),
+	}
+}
+
+// Name implements core.Strategy.
+func (s *PSN) Name() string { return s.label }
+
+// UpdateIndex implements core.Strategy: like the other batch baselines, the
+// emission plan is rebuilt over the full collection whenever data arrived.
+func (s *PSN) UpdateIndex(col *blocking.Collection, delta []*profile.Profile) time.Duration {
+	if len(delta) == 0 || (s.initialized && col.Version() == s.lastVersion) {
+		return 0
+	}
+	s.lastVersion = col.Version()
+	return s.build(col)
+}
+
+// neighborEntry is one position of the sorted neighborhood list.
+type neighborEntry struct {
+	key string
+	id  int
+	src profile.Source
+}
+
+// build constructs the sorted list and the emission plan.
+func (s *PSN) build(col *blocking.Collection) time.Duration {
+	var entries []neighborEntry
+	for _, id := range col.ProfileIDs() {
+		p := col.Profile(id)
+		for _, b := range col.BlocksOf(id) {
+			entries = append(entries, neighborEntry{key: b.Key, id: id, src: p.Source})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].key != entries[j].key {
+			return entries[i].key < entries[j].key
+		}
+		return entries[i].id < entries[j].id
+	})
+
+	s.emission = s.emission[:0]
+	s.head = 0
+	pairs := 0
+	valid := func(a, b neighborEntry) bool {
+		if a.id == b.id {
+			return false
+		}
+		if col.CleanClean() && a.src == b.src {
+			return false
+		}
+		return true
+	}
+	if s.Global {
+		weights := make(map[uint64]float64)
+		for w := 1; w <= s.MaxWindow; w++ {
+			for i := 0; i+w < len(entries); i++ {
+				a, b := entries[i], entries[i+w]
+				if !valid(a, b) {
+					continue
+				}
+				pairs++
+				weights[profile.PairKey(a.id, b.id)] += float64(s.MaxWindow - w + 1)
+			}
+		}
+		for key, weight := range weights {
+			if _, done := s.executed[key]; done {
+				continue
+			}
+			x, y := profile.SplitPairKey(key)
+			s.emission = append(s.emission, metablocking.Comparison{X: x, Y: y, Weight: weight})
+		}
+		sort.Slice(s.emission, func(i, j int) bool {
+			return metablocking.Less(s.emission[j], s.emission[i])
+		})
+	} else {
+		seen := make(map[uint64]struct{})
+		for w := 1; w <= s.MaxWindow; w++ {
+			for i := 0; i+w < len(entries); i++ {
+				a, b := entries[i], entries[i+w]
+				if !valid(a, b) {
+					continue
+				}
+				pairs++
+				key := profile.PairKey(a.id, b.id)
+				if _, dup := seen[key]; dup {
+					continue
+				}
+				if _, done := s.executed[key]; done {
+					continue
+				}
+				seen[key] = struct{}{}
+				s.emission = append(s.emission, metablocking.Comparison{
+					X: a.id, Y: b.id, Weight: float64(s.MaxWindow - w + 1),
+				})
+			}
+		}
+	}
+	s.initialized = true
+	cost := s.cfg.Costs.Sort(len(entries)) + s.cfg.Costs.Generate(pairs)
+	if s.Global {
+		cost += s.cfg.Costs.Sort(len(s.emission))
+	}
+	return cost
+}
+
+// Dequeue implements core.Strategy.
+func (s *PSN) Dequeue() (metablocking.Comparison, bool) {
+	for s.head < len(s.emission) {
+		c := s.emission[s.head]
+		s.head++
+		if _, done := s.executed[c.Key()]; done {
+			continue
+		}
+		s.executed[c.Key()] = struct{}{}
+		return c, true
+	}
+	return metablocking.Comparison{}, false
+}
+
+// Pending implements core.Strategy.
+func (s *PSN) Pending() int { return len(s.emission) - s.head }

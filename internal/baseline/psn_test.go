@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"testing"
+
+	"pier/internal/blocking"
+	"pier/internal/profile"
+)
+
+// psnWorld builds profiles whose tokens sort adjacently: "alpha1"/"alpha2"
+// share no token, but their keys neighbor in the sorted list — the case
+// sorted neighborhood catches and token blocking misses.
+func psnWorld(t *testing.T) (*blocking.Collection, []*profile.Profile) {
+	t.Helper()
+	c := blocking.NewCollection(true, 0)
+	ps := []*profile.Profile{
+		mk(1, profile.SourceA, "shared token here"),
+		mk(2, profile.SourceB, "shared token there"),
+		mk(3, profile.SourceA, "zebra unique"),
+		mk(4, profile.SourceB, "zebra uniqua"), // neighbor key, no shared token beyond "zebra"
+	}
+	for _, p := range ps {
+		c.Add(p)
+	}
+	return c, ps
+}
+
+func TestLSPSNEmitsClosestWindowsFirst(t *testing.T) {
+	s := NewPSN(testConfig(), false, 4)
+	if s.Name() != "LS-PSN" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	col, ps := psnWorld(t)
+	if cost := s.UpdateIndex(col, ps); cost <= 0 {
+		t.Error("LS-PSN build must charge cost")
+	}
+	got := drain(s)
+	if len(got) == 0 {
+		t.Fatal("LS-PSN emitted nothing")
+	}
+	// Emission weights (MaxWindow - w + 1) must be non-increasing: closer
+	// neighbors first.
+	for i := 1; i < len(got); i++ {
+		if got[i].Weight > got[i-1].Weight {
+			t.Fatalf("LS-PSN window order violated: %v", got)
+		}
+	}
+	// The shared-token pair (1,2) must be found.
+	foundShared := false
+	for _, c := range got {
+		if c.Key() == profile.PairKey(1, 2) {
+			foundShared = true
+		}
+	}
+	if !foundShared {
+		t.Error("LS-PSN missed the shared-token pair (1,2)")
+	}
+}
+
+func TestGSPSNGlobalWeightOrder(t *testing.T) {
+	s := NewPSN(testConfig(), true, 4)
+	if s.Name() != "GS-PSN" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	col, ps := psnWorld(t)
+	s.UpdateIndex(col, ps)
+	got := drain(s)
+	if len(got) == 0 {
+		t.Fatal("GS-PSN emitted nothing")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Weight > got[i-1].Weight {
+			t.Fatalf("GS-PSN weight order violated: %v", got)
+		}
+	}
+	// Pair (1,2) shares two tokens -> co-occurs at distance 1 twice -> its
+	// aggregate weight must exceed any single-co-occurrence pair.
+	if got[0].Key() != profile.PairKey(1, 2) {
+		t.Errorf("GS-PSN top = %v, want the double-co-occurrence pair (1,2)", got[0])
+	}
+}
+
+func TestPSNNoRedundantAndNoSameSource(t *testing.T) {
+	for _, global := range []bool{false, true} {
+		s := NewPSN(testConfig(), global, 6)
+		col, ps := psnWorld(t)
+		s.UpdateIndex(col, ps)
+		seen := map[uint64]bool{}
+		for _, c := range drain(s) {
+			if seen[c.Key()] {
+				t.Fatalf("%s re-emitted pair %v", s.Name(), c)
+			}
+			seen[c.Key()] = true
+			px, py := col.Profile(c.X), col.Profile(c.Y)
+			if px.Source == py.Source {
+				t.Fatalf("%s emitted same-source pair %v", s.Name(), c)
+			}
+		}
+	}
+}
+
+func TestPSNRebuildSkipsExecuted(t *testing.T) {
+	s := NewPSN(testConfig(), true, 4)
+	col, ps := psnWorld(t)
+	s.UpdateIndex(col, ps)
+	first, ok := s.Dequeue()
+	if !ok {
+		t.Fatal("nothing dequeued")
+	}
+	p5 := mk(5, profile.SourceB, "shared token everywhere")
+	col.Add(p5)
+	s.UpdateIndex(col, []*profile.Profile{p5})
+	for _, c := range drain(s) {
+		if c.Key() == first.Key() {
+			t.Fatalf("rebuild re-emitted executed pair %v", c)
+		}
+	}
+}
+
+func TestPSNDefaultWindow(t *testing.T) {
+	s := NewPSN(testConfig(), false, 0)
+	if s.MaxWindow != DefaultPSNWindow {
+		t.Errorf("MaxWindow = %d, want default %d", s.MaxWindow, DefaultPSNWindow)
+	}
+	if cost := s.UpdateIndex(blocking.NewCollection(true, 0), nil); cost != 0 {
+		t.Error("tick on empty collection must be free")
+	}
+}
+
+func TestPSNFindsNeighborKeysWithoutSharedBlocks(t *testing.T) {
+	// "zebra unique" vs "zebra uniqua": they do share "zebra", but also the
+	// sorted neighborhood should pair them through the adjacent keys
+	// "unique"/"uniqua". Remove the shared token to isolate the effect.
+	c := blocking.NewCollection(true, 0)
+	ps := []*profile.Profile{
+		mk(1, profile.SourceA, "unique"),
+		mk(2, profile.SourceB, "uniqua"),
+	}
+	for _, p := range ps {
+		c.Add(p)
+	}
+	s := NewPSN(testConfig(), false, 2)
+	s.UpdateIndex(c, ps)
+	got := drain(s)
+	if len(got) != 1 || got[0].Key() != profile.PairKey(1, 2) {
+		t.Errorf("LS-PSN = %v, want the neighbor-key pair (1,2)", got)
+	}
+}

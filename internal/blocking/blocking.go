@@ -1,0 +1,309 @@
+// Package blocking implements schema-agnostic token blocking for incremental
+// ER, the block-cleaning techniques the paper inherits from its incremental
+// framework reference [17] — block purging of oversized blocks and block
+// ghosting — and the bookkeeping (profile registry, profile→blocks index)
+// that the prioritization strategies need.
+//
+// Token blocking places a profile into one block per token appearing in any
+// of its attribute values. It is schema-agnostic: attribute names are
+// ignored, so profiles with entirely different schemas land in shared blocks
+// whenever their values overlap. Blocking is *incremental*: Add integrates a
+// single profile into the live block collection in time proportional to its
+// token count, never recomputing existing blocks.
+package blocking
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pier/internal/profile"
+)
+
+// Block is the set of profiles sharing one token, kept per source so that
+// Clean-Clean ER can restrict comparisons to cross-source pairs.
+type Block struct {
+	// Key is the token that defines the block.
+	Key string
+	// A and B hold the profile IDs per source, in arrival order. Dirty ER
+	// uses A only.
+	A, B []int
+}
+
+// Size returns the number of profiles in the block.
+func (b *Block) Size() int { return len(b.A) + len(b.B) }
+
+// Comparisons returns ||b||, the number of distinct pairwise comparisons the
+// block can generate: |A|·|B| for Clean-Clean, n(n-1)/2 for Dirty.
+func (b *Block) Comparisons(cleanClean bool) int {
+	if cleanClean {
+		return len(b.A) * len(b.B)
+	}
+	n := b.Size()
+	return n * (n - 1) / 2
+}
+
+// Collection is an incrementally maintained block collection plus the
+// profile registry for all profiles seen so far. It is not safe for
+// concurrent use; the pipeline runners serialize access.
+type Collection struct {
+	cleanClean   bool
+	maxBlockSize int // purge threshold; 0 disables purging
+	keyer        Keyer
+
+	blocks   map[string]*Block
+	purged   map[string]struct{} // tombstones of purged oversized blocks
+	profiles map[int]*profile.Profile
+	ofProf   map[int][]string // profile ID -> keys of blocks it was added to
+
+	version uint64 // bumped on every mutation, for cache invalidation
+}
+
+// Keyer extracts the blocking keys of a profile. The default is
+// schema-agnostic token blocking (Profile.Tokens); profile.QGramKeys and
+// profile.SuffixKeys provide typo-robust alternatives.
+type Keyer func(*profile.Profile) []string
+
+// NewCollection returns an empty collection. cleanClean selects Clean-Clean
+// ER (cross-source comparisons only); maxBlockSize > 0 enables block purging:
+// any block growing beyond that many profiles is dropped entirely and stays
+// dropped (its token is too frequent to be discriminative).
+func NewCollection(cleanClean bool, maxBlockSize int) *Collection {
+	return NewCollectionKeyed(cleanClean, maxBlockSize, nil)
+}
+
+// NewCollectionKeyed is NewCollection with a custom blocking-key extractor;
+// a nil keyer means token blocking.
+func NewCollectionKeyed(cleanClean bool, maxBlockSize int, keyer Keyer) *Collection {
+	if keyer == nil {
+		keyer = func(p *profile.Profile) []string { return p.Tokens() }
+	}
+	return &Collection{
+		cleanClean:   cleanClean,
+		maxBlockSize: maxBlockSize,
+		keyer:        keyer,
+		blocks:       make(map[string]*Block),
+		purged:       make(map[string]struct{}),
+		profiles:     make(map[int]*profile.Profile),
+		ofProf:       make(map[int][]string),
+	}
+}
+
+// CleanClean reports whether the collection runs a Clean-Clean ER task.
+func (c *Collection) CleanClean() bool { return c.cleanClean }
+
+// Add integrates p into the collection: p is registered and appended to the
+// block of every one of its tokens, creating blocks as needed and purging any
+// block that exceeds the size threshold. It returns the number of tokens
+// indexed (the unit of the blocking cost model). Adding the same profile ID
+// twice is a programming error and panics.
+func (c *Collection) Add(p *profile.Profile) int {
+	if _, dup := c.profiles[p.ID]; dup {
+		panic(fmt.Sprintf("blocking: duplicate profile ID %d", p.ID))
+	}
+	c.profiles[p.ID] = p
+	c.version++
+	toks := c.keyer(p)
+	keys := make([]string, 0, len(toks))
+	for _, tok := range toks {
+		if _, dead := c.purged[tok]; dead {
+			continue
+		}
+		b, ok := c.blocks[tok]
+		if !ok {
+			b = &Block{Key: tok}
+			c.blocks[tok] = b
+		}
+		if p.Source == profile.SourceB {
+			b.B = append(b.B, p.ID)
+		} else {
+			b.A = append(b.A, p.ID)
+		}
+		if c.maxBlockSize > 0 && b.Size() > c.maxBlockSize {
+			delete(c.blocks, tok)
+			c.purged[tok] = struct{}{}
+			continue
+		}
+		keys = append(keys, tok)
+	}
+	c.ofProf[p.ID] = keys
+	return len(toks)
+}
+
+// Remove evicts a profile from the collection: it is deleted from the
+// registry and from every live block it occupies (emptied blocks are
+// dropped). Long-running streams use eviction to bound memory (the paper's
+// incrementality requirement); prioritization strategies may still hold
+// queued comparisons that reference the evicted ID — the pipeline runners
+// skip comparisons whose profiles are gone. Removing an unknown ID is a
+// no-op.
+func (c *Collection) Remove(id int) {
+	if _, ok := c.profiles[id]; !ok {
+		return
+	}
+	for _, key := range c.ofProf[id] {
+		b, live := c.blocks[key]
+		if !live {
+			continue
+		}
+		b.A = removeID(b.A, id)
+		b.B = removeID(b.B, id)
+		if b.Size() == 0 {
+			delete(c.blocks, key)
+		}
+	}
+	delete(c.ofProf, id)
+	delete(c.profiles, id)
+	c.version++
+}
+
+// removeID deletes the first occurrence of id, preserving order.
+func removeID(ids []int, id int) []int {
+	for i, v := range ids {
+		if v == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// Block returns the live block for key, or nil if it does not exist or was
+// purged.
+func (c *Collection) Block(key string) *Block { return c.blocks[key] }
+
+// BlocksOf returns the live blocks containing profile id, in token order of
+// the profile. Blocks purged after the profile was added are skipped.
+func (c *Collection) BlocksOf(id int) []*Block {
+	keys := c.ofProf[id]
+	out := make([]*Block, 0, len(keys))
+	for _, k := range keys {
+		if b, ok := c.blocks[k]; ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// NumBlocksOf returns the number of live blocks containing profile id. It is
+// the |B(p)| term of meta-blocking weighting schemes.
+func (c *Collection) NumBlocksOf(id int) int {
+	n := 0
+	for _, k := range c.ofProf[id] {
+		if _, ok := c.blocks[k]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Profile returns the registered profile with the given ID, or nil.
+func (c *Collection) Profile(id int) *profile.Profile { return c.profiles[id] }
+
+// NumProfiles returns the number of registered profiles.
+func (c *Collection) NumProfiles() int { return len(c.profiles) }
+
+// ProfileIDs returns all registered profile IDs in ascending order. It is
+// used by the batch baselines that must (re)consider the full dataset.
+func (c *Collection) ProfileIDs() []int {
+	ids := make([]int, 0, len(c.profiles))
+	for id := range c.profiles {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// NumBlocks returns the number of live blocks.
+func (c *Collection) NumBlocks() int { return len(c.blocks) }
+
+// Version returns a counter bumped on every mutation; callers use it to
+// invalidate caches derived from the collection (e.g. sorted block lists).
+func (c *Collection) Version() uint64 { return c.version }
+
+// SortedKeysBySize returns all live block keys sorted by ascending block
+// size, ties broken by key for determinism. The slice is freshly allocated.
+func (c *Collection) SortedKeysBySize() []string {
+	keys := make([]string, 0, len(c.blocks))
+	for k := range c.blocks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		si, sj := c.blocks[keys[i]].Size(), c.blocks[keys[j]].Size()
+		if si != sj {
+			return si < sj
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// SortedKeysByName returns all live block keys in lexicographic order — a
+// deterministic stand-in for the "arbitrary" block order of plain batch ER.
+func (c *Collection) SortedKeysByName() []string {
+	keys := make([]string, 0, len(c.blocks))
+	for k := range c.blocks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TotalComparisons returns the aggregate comparison count across all live
+// blocks (with cross-block redundancy, i.e. the BC measure of blocking).
+func (c *Collection) TotalComparisons() int {
+	total := 0
+	for _, b := range c.blocks {
+		total += b.Comparisons(c.cleanClean)
+	}
+	return total
+}
+
+// FilterTopR implements block filtering (Papadakis et al., PVLDB 2016, the
+// paper's survey reference [29]): keep a profile only in the ceil(r·|B(p)|)
+// smallest of its blocks, removing it from the largest — least informative —
+// ones. Like Ghost it is applied per profile at candidate-generation time;
+// ratio >= 1 or <= 0 disables filtering. The input slice is not modified.
+func FilterTopR(blocks []*Block, ratio float64) []*Block {
+	if ratio <= 0 || ratio >= 1 || len(blocks) == 0 {
+		return blocks
+	}
+	keep := int(math.Ceil(ratio * float64(len(blocks))))
+	if keep >= len(blocks) {
+		return blocks
+	}
+	sorted := append([]*Block(nil), blocks...)
+	sort.Slice(sorted, func(i, j int) bool {
+		si, sj := sorted[i].Size(), sorted[j].Size()
+		if si != sj {
+			return si < sj
+		}
+		return sorted[i].Key < sorted[j].Key
+	})
+	return sorted[:keep]
+}
+
+// Ghost applies block ghosting ([17], §4 of the paper) to the blocks of a
+// single profile: with b_min the smallest block of the slice, only blocks b
+// with |b| <= |b_min|/beta are kept — the most discriminative blocks for the
+// profile. beta must be in (0, 1]; beta == 1 keeps only blocks as small as
+// b_min, smaller beta keeps proportionally larger blocks, and beta <= 0
+// disables ghosting. The input slice is not modified.
+func Ghost(blocks []*Block, beta float64) []*Block {
+	if beta <= 0 || len(blocks) == 0 {
+		return blocks
+	}
+	min := blocks[0].Size()
+	for _, b := range blocks[1:] {
+		if s := b.Size(); s < min {
+			min = s
+		}
+	}
+	limit := float64(min) / beta
+	out := make([]*Block, 0, len(blocks))
+	for _, b := range blocks {
+		if float64(b.Size()) <= limit {
+			out = append(out, b)
+		}
+	}
+	return out
+}

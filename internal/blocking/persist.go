@@ -1,0 +1,97 @@
+package blocking
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"pier/internal/profile"
+)
+
+// Checkpointing: a long-running incremental ER service must survive restarts
+// without re-reading the whole stream. Save serializes the collection's full
+// state — blocks, purge tombstones, the profile registry and the
+// profile→blocks index — with encoding/gob; Load reconstructs it. The
+// prioritization strategies' queues are deliberately *not* checkpointed:
+// after a restart their leftover-scan path (GetComparisons) regenerates
+// unexecuted comparisons from the restored block collection, which is the
+// same recovery the paper's globality condition provides for comparisons
+// skipped under load.
+
+// persistedProfile is the gob image of a profile (the runtime type carries
+// unexported caches that must be rebuilt on load).
+type persistedProfile struct {
+	ID         int
+	Source     uint8
+	EntityKey  string
+	Attributes []profile.Attribute
+}
+
+// persistedCollection is the gob image of a Collection.
+type persistedCollection struct {
+	CleanClean   bool
+	MaxBlockSize int
+	Blocks       map[string]*Block
+	Purged       []string
+	Profiles     []persistedProfile
+	OfProf       map[int][]string
+	Version      uint64
+}
+
+// Save writes a checkpoint of the collection to w.
+func (c *Collection) Save(w io.Writer) error {
+	img := persistedCollection{
+		CleanClean:   c.cleanClean,
+		MaxBlockSize: c.maxBlockSize,
+		Blocks:       c.blocks,
+		OfProf:       c.ofProf,
+		Version:      c.version,
+	}
+	for key := range c.purged {
+		img.Purged = append(img.Purged, key)
+	}
+	img.Profiles = make([]persistedProfile, 0, len(c.profiles))
+	for _, p := range c.profiles {
+		img.Profiles = append(img.Profiles, persistedProfile{
+			ID:         p.ID,
+			Source:     uint8(p.Source),
+			EntityKey:  p.EntityKey,
+			Attributes: p.Attributes,
+		})
+	}
+	if err := gob.NewEncoder(w).Encode(&img); err != nil {
+		return fmt.Errorf("blocking: save checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a collection from a checkpoint written by Save. keyer
+// must be the same extractor the saved collection used (nil = token
+// blocking); it is needed for profiles added *after* the restore — the
+// restored blocks themselves are taken verbatim.
+func Load(r io.Reader, keyer Keyer) (*Collection, error) {
+	var img persistedCollection
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("blocking: load checkpoint: %w", err)
+	}
+	c := NewCollectionKeyed(img.CleanClean, img.MaxBlockSize, keyer)
+	if img.Blocks != nil {
+		c.blocks = img.Blocks
+	}
+	for _, key := range img.Purged {
+		c.purged[key] = struct{}{}
+	}
+	for _, pp := range img.Profiles {
+		c.profiles[pp.ID] = &profile.Profile{
+			ID:         pp.ID,
+			Source:     profile.Source(pp.Source),
+			EntityKey:  pp.EntityKey,
+			Attributes: pp.Attributes,
+		}
+	}
+	if img.OfProf != nil {
+		c.ofProf = img.OfProf
+	}
+	c.version = img.Version
+	return c, nil
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pier/internal/blocking"
+	"pier/internal/dataset"
+	"pier/internal/profile"
+)
+
+func TestAutoPicksIPBSForCensus(t *testing.T) {
+	d := dataset.Census(0.0005, 1)
+	a := NewAuto(DefaultConfig())
+	if a.Name() != "AUTO" {
+		t.Errorf("pre-decision Name = %q", a.Name())
+	}
+	col := blocking.NewCollection(false, 0)
+	first := d.Increments(10)[0]
+	for _, p := range first {
+		col.Add(p)
+	}
+	a.UpdateIndex(col, first)
+	if a.Name() != "AUTO:I-PBS" {
+		t.Errorf("census sample chose %q, want AUTO:I-PBS", a.Name())
+	}
+}
+
+func TestAutoPicksIPESForHeterogeneous(t *testing.T) {
+	for _, d := range []*dataset.Dataset{
+		dataset.WebData(0.0003, 1),
+		dataset.Movies(0.01, 1),
+	} {
+		a := NewAuto(DefaultConfig())
+		col := blocking.NewCollection(d.CleanClean, 0)
+		first := d.Increments(10)[0]
+		for _, p := range first {
+			col.Add(p)
+		}
+		a.UpdateIndex(col, first)
+		if a.Name() != "AUTO:I-PES" {
+			t.Errorf("%s sample chose %q, want AUTO:I-PES", d.Name, a.Name())
+		}
+	}
+}
+
+func TestAutoForwardsAfterDecision(t *testing.T) {
+	a := NewAuto(testConfig())
+	col, ps := tinyWorld(t)
+	// Empty increments before the decision are no-ops.
+	if cost := a.UpdateIndex(col, nil); cost != 0 {
+		t.Error("pre-decision tick must be free")
+	}
+	if _, ok := a.Dequeue(); ok {
+		t.Error("pre-decision Dequeue must be empty")
+	}
+	if a.Pending() != 0 {
+		t.Error("pre-decision Pending != 0")
+	}
+	a.UpdateIndex(col, ps)
+	if !strings.HasPrefix(a.Name(), "AUTO:") {
+		t.Fatalf("no decision after data: %q", a.Name())
+	}
+	c, ok := a.Dequeue()
+	if !ok || c.Key() != profile.PairKey(1, 2) {
+		t.Errorf("forwarded Dequeue = %v, %v", c, ok)
+	}
+	if a.Pending() < 0 {
+		t.Error("Pending negative")
+	}
+}
+
+func TestMeasureStats(t *testing.T) {
+	short := []*profile.Profile{
+		profile.New(1, profile.SourceA, "", "gn", "ann", "sn", "lee"),
+		profile.New(2, profile.SourceA, "", "gn", "bob", "sn", "kim"),
+	}
+	st := measure(short)
+	if st.meanValueLen > 10 {
+		t.Errorf("meanValueLen = %v", st.meanValueLen)
+	}
+	if st.schemaRate != 50 { // one signature over two profiles = 50 per 100
+		t.Errorf("schemaRate = %v, want 50", st.schemaRate)
+	}
+	if st := measure(nil); st.meanValueLen != 0 {
+		t.Error("measure(nil) must be zero")
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import "time"
+
+// AdaptiveK implements findK() of Algorithm 1: the number K of comparisons
+// emitted per index update adapts to the ratio between the observed increment
+// interarrival time and the observed per-comparison service time of the
+// matcher. A fast matcher (JS) yields a large K — the system fills idle time
+// between increments with progressive work; a slow matcher (ED) yields a
+// small K so the stream keeps being consumed.
+//
+// Both observations are tracked as exponential moving averages of their
+// latest measurements, as the paper prescribes ("the average of their latest
+// measurements"), and K chases the target interarrival/service with smoothed
+// multiplicative updates.
+type AdaptiveK struct {
+	kMin, kMax float64
+	k          float64
+	alpha      float64 // EMA smoothing factor
+
+	interarrival float64 // seconds, EMA
+	service      float64 // seconds per comparison, EMA
+}
+
+// Default bounds for K. KDefault is used until both rates have been observed.
+const (
+	KMin     = 8
+	KMax     = 200_000
+	KDefault = 512
+)
+
+// NewAdaptiveK returns an adaptive K policy with the default bounds.
+func NewAdaptiveK() *AdaptiveK {
+	return &AdaptiveK{kMin: KMin, kMax: KMax, k: KDefault, alpha: 0.3}
+}
+
+// NewFixedK returns a degenerate policy pinned to k, for ablations and for
+// the non-adaptive baselines.
+func NewFixedK(k int) *AdaptiveK {
+	return &AdaptiveK{kMin: float64(k), kMax: float64(k), k: float64(k), alpha: 0.3}
+}
+
+// ObserveArrival records the time elapsed since the previous increment. A
+// non-positive interarrival means the next increment was already waiting
+// (backlog or static data); it is recorded as an extremely fast arrival so K
+// shrinks and ingestion is not starved by long emission batches.
+func (a *AdaptiveK) ObserveArrival(interarrival time.Duration) {
+	sample := interarrival.Seconds()
+	if interarrival <= 0 {
+		sample = 1e-9
+	}
+	a.interarrival = a.ema(a.interarrival, sample)
+}
+
+// ObserveService records the measured cost of one executed comparison.
+func (a *AdaptiveK) ObserveService(perComparison time.Duration) {
+	if perComparison <= 0 {
+		return
+	}
+	a.service = a.ema(a.service, perComparison.Seconds())
+}
+
+func (a *AdaptiveK) ema(cur, sample float64) float64 {
+	if cur == 0 {
+		return sample
+	}
+	return (1-a.alpha)*cur + a.alpha*sample
+}
+
+// K returns the current batch size: the smoothed number of comparisons the
+// matcher can serve within one interarrival window, clamped to [KMin, KMax].
+func (a *AdaptiveK) K() int {
+	if a.interarrival > 0 && a.service > 0 {
+		target := a.interarrival / a.service
+		a.k = 0.5*a.k + 0.5*target
+	}
+	if a.k < a.kMin {
+		a.k = a.kMin
+	}
+	if a.k > a.kMax {
+		a.k = a.kMax
+	}
+	return int(a.k)
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"time"
+
+	"pier/internal/blocking"
+	"pier/internal/bloom"
+	"pier/internal/metablocking"
+	"pier/internal/profile"
+)
+
+// generator implements the comparison-generation core shared by I-PCS and
+// I-PES: lines 1–11 of Algorithm 2. For each new profile of an increment it
+// generates candidates from the profile's ghosted blocks, weighs them, and
+// prunes them with I-WNP; when both the increment and the comparison index
+// are empty it falls back to GetComparisons, scanning leftover comparisons
+// from the block collection smallest-block-first so that idle time keeps
+// producing useful work.
+type generator struct {
+	cfg Config
+
+	// executed records pairs handed to the matcher, so fallback scans
+	// never re-emit work that was already done. A scalable Bloom filter
+	// keeps it constant-memory-per-pair; false positives only suppress a
+	// leftover comparison, never corrupt results.
+	executed *bloom.Filter
+
+	scanKeys    []string
+	scanPos     int
+	scanVersion uint64
+	scanValid   bool
+}
+
+func newGenerator(cfg Config) *generator {
+	return &generator{cfg: cfg, executed: bloom.New(1<<16, 0.001)}
+}
+
+// candidates runs lines 1–9 of Algorithm 2 over the increment: block
+// ghosting with β, candidate generation against earlier profiles, and I-WNP
+// pruning. It returns the weighted comparison list and the modeled cost.
+func (g *generator) candidates(col *blocking.Collection, delta []*profile.Profile) ([]metablocking.Comparison, time.Duration) {
+	var out []metablocking.Comparison
+	var cost time.Duration
+	for _, p := range delta {
+		blocks := blocking.FilterTopR(col.BlocksOf(p.ID), g.cfg.FilterRatio)
+		blocks = blocking.Ghost(blocks, g.cfg.Beta)
+		cands := metablocking.Candidates(col, p, blocks, g.cfg.Scheme)
+		cost += g.cfg.Costs.Generate(len(cands))
+		out = append(out, metablocking.IWNP(cands)...)
+	}
+	return out, cost
+}
+
+// markExecuted records that the pair was dequeued for matching.
+func (g *generator) markExecuted(key uint64) { g.executed.Add(key) }
+
+// fallbackScan implements GetComparisons(B): each call takes the comparisons
+// of the next block — blocks visited from the smallest to the biggest — that
+// yields at least one unexecuted pair, weighted with the configured scheme.
+// It returns nil when every block has been visited. New data invalidates the
+// sorted order and restarts the scan; the executed filter keeps restarts from
+// redoing finished work.
+func (g *generator) fallbackScan(col *blocking.Collection) ([]metablocking.Comparison, time.Duration) {
+	if !g.scanValid || g.scanVersion != col.Version() {
+		g.scanKeys = col.SortedKeysBySize()
+		g.scanPos = 0
+		g.scanVersion = col.Version()
+		g.scanValid = true
+	}
+	var cost time.Duration
+	for g.scanPos < len(g.scanKeys) {
+		b := col.Block(g.scanKeys[g.scanPos])
+		g.scanPos++
+		if b == nil {
+			continue
+		}
+		cmps := g.blockComparisons(col, b)
+		cost += g.cfg.Costs.Generate(b.Comparisons(col.CleanClean()))
+		if len(cmps) > 0 {
+			return cmps, cost
+		}
+	}
+	return nil, cost
+}
+
+// blockComparisons generates the unexecuted comparisons of one block, each
+// weighted by the CBS-style shared-block count of its pair.
+func (g *generator) blockComparisons(col *blocking.Collection, b *blocking.Block) []metablocking.Comparison {
+	var out []metablocking.Comparison
+	emit := func(x, y int) {
+		key := profile.PairKey(x, y)
+		if g.executed.Contains(key) {
+			return
+		}
+		out = append(out, metablocking.Comparison{
+			X:      x,
+			Y:      y,
+			Weight: float64(metablocking.SharedBlocks(col, x, y)),
+			BSize:  b.Size(),
+		})
+	}
+	if col.CleanClean() {
+		for _, x := range b.A {
+			for _, y := range b.B {
+				emit(x, y)
+			}
+		}
+	} else {
+		for i, x := range b.A {
+			for _, y := range b.A[i+1:] {
+				emit(x, y)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"time"
+
+	"pier/internal/blocking"
+	"pier/internal/bloom"
+	"pier/internal/metablocking"
+	"pier/internal/profile"
+	"pier/internal/queue"
+)
+
+// IPBS is Incremental Progressive Block Scheduling (Algorithm 3), the
+// block-centric PIER strategy: comparisons are emitted block by block, the
+// smallest pending block first, under the hypothesis that small blocks are
+// the most likely to contain duplicates. Within a block, comparisons are
+// ordered by the weighting scheme.
+//
+// Two global indexes track pending work: the cardinality index CI maps a
+// block to the number of unexecuted comparisons contributed by profiles that
+// arrived since the block was last processed, and the profile index PI maps a
+// block to those unexecuted profiles. The paper's pseudo-code initializes CI
+// entries to +∞ and resets processed blocks back to +∞/∅; we implement the
+// equivalent, simpler reading — a block is *inactive* (absent from CI/PI)
+// until a new profile lands in it, and processing a block deactivates it —
+// which makes line 4's CI(b) ← CI(b) + |b| − 1 well defined.
+//
+// The comparison filter CF, a scalable Bloom filter per the paper's reference
+// [16], suppresses redundant pair generation across block re-emissions.
+type IPBS struct {
+	cfg   Config
+	index *queue.Bounded[metablocking.Comparison]
+
+	// InvertRefill flips the ambiguous refill condition of Algorithm 3
+	// line 9 (see DESIGN.md): instead of refilling when the index top
+	// comes from a block *smaller* than b_min (the literal pseudo-code),
+	// refill when it comes from a block at least as large. Used by the
+	// BenchmarkAblationIPBSRefill ablation; leave false for the paper's
+	// behavior.
+	InvertRefill bool
+
+	ci map[string]int   // active block -> pending comparison count
+	pi map[string][]int // active block -> unexecuted profile IDs
+	// minHeap orders active blocks by CI count (ties by key) with lazy
+	// invalidation: stale entries are skipped when popped.
+	minHeap *queue.Heap[ciEntry]
+
+	cf *bloom.Filter
+}
+
+type ciEntry struct {
+	count int
+	key   string
+}
+
+func ciLess(a, b ciEntry) bool {
+	if a.count != b.count {
+		return a.count < b.count
+	}
+	return a.key < b.key
+}
+
+// NewIPBS returns an I-PBS strategy with the given configuration.
+func NewIPBS(cfg Config) *IPBS {
+	return &IPBS{
+		cfg:     cfg,
+		index:   queue.NewBounded(cfg.IndexCapacity, metablocking.LessBlockCentric),
+		ci:      make(map[string]int),
+		pi:      make(map[string][]int),
+		minHeap: queue.NewHeap(ciLess),
+		cf:      bloom.New(1<<16, 0.001),
+	}
+}
+
+// Name implements Strategy.
+func (s *IPBS) Name() string { return "I-PBS" }
+
+// UpdateIndex implements Algorithm 3. Lines 1–5 register the increment's
+// profiles in CI and PI; lines 6–16 select b_min, the active block with the
+// fewest pending comparisons, and — if the index is exhausted or its top
+// comparison originates from a block smaller than b_min — emit b_min's
+// unexecuted comparisons into the index, tagged with ⟨|b_min|, w(c)⟩, and
+// deactivate b_min.
+func (s *IPBS) UpdateIndex(col *blocking.Collection, delta []*profile.Profile) time.Duration {
+	var cost time.Duration
+	for _, p := range delta {
+		for _, b := range col.BlocksOf(p.ID) {
+			s.ci[b.Key] += b.Size() - 1
+			s.pi[b.Key] = append(s.pi[b.Key], p.ID)
+			s.minHeap.Push(ciEntry{count: s.ci[b.Key], key: b.Key})
+		}
+		cost += s.cfg.Costs.Generate(len(col.BlocksOf(p.ID)))
+	}
+
+	// With an exhausted index, keep emitting b_min blocks until one yields
+	// comparisons: singleton blocks and blocks whose pairs were all filtered
+	// by CF legitimately yield nothing, and stalling on them would leave the
+	// matcher idle.
+	for s.index.Len() == 0 {
+		bmin, ok := s.popMinBlock(col)
+		if !ok {
+			return cost
+		}
+		cost += s.emitBlock(col, bmin)
+	}
+	// Literal Algorithm 3 line 9: with a non-empty index, emit one more
+	// block when the current top comparison originates from a block smaller
+	// than b_min (see DESIGN.md on this condition; InvertRefill flips it
+	// for the ablation).
+	if bmin, ok := s.popMinBlock(col); ok {
+		top, _ := s.index.PeekBest()
+		skip := top.BSize >= bmin.Size()
+		if s.InvertRefill {
+			skip = !skip
+		}
+		if skip {
+			// Re-activate b_min untouched for a later call.
+			s.minHeap.Push(ciEntry{count: s.ci[bmin.Key], key: bmin.Key})
+			return cost
+		}
+		cost += s.emitBlock(col, bmin)
+	}
+	return cost
+}
+
+// popMinBlock pops b_min from the lazy min-heap, skipping stale entries, and
+// returns its live block.
+func (s *IPBS) popMinBlock(col *blocking.Collection) (*blocking.Block, bool) {
+	for {
+		e, ok := s.minHeap.Pop()
+		if !ok {
+			return nil, false
+		}
+		cur, active := s.ci[e.key]
+		if !active || cur != e.count {
+			continue // stale heap entry
+		}
+		b := col.Block(e.key)
+		if b == nil {
+			// Block was purged after profiles registered; drop it.
+			delete(s.ci, e.key)
+			delete(s.pi, e.key)
+			continue
+		}
+		return b, true
+	}
+}
+
+// emitBlock generates the non-redundant comparisons of b_min (lines 10–14)
+// and deactivates the block (lines 15–16).
+func (s *IPBS) emitBlock(col *blocking.Collection, b *blocking.Block) time.Duration {
+	bsize := b.Size()
+	generated := 0
+	emit := func(x, y int) {
+		if x == y {
+			return
+		}
+		key := profile.PairKey(x, y)
+		if !s.cf.AddIfNew(key) {
+			return
+		}
+		generated++
+		s.index.Push(metablocking.Comparison{
+			X:      x,
+			Y:      y,
+			Weight: float64(metablocking.SharedBlocks(col, x, y)),
+			BSize:  bsize,
+		})
+	}
+	for _, x := range s.pi[b.Key] {
+		px := col.Profile(x)
+		if px == nil {
+			continue
+		}
+		if col.CleanClean() {
+			partners := b.A
+			if px.Source == profile.SourceA {
+				partners = b.B
+			}
+			for _, y := range partners {
+				emit(x, y)
+			}
+		} else {
+			for _, y := range b.A {
+				emit(x, y)
+			}
+			for _, y := range b.B {
+				emit(x, y)
+			}
+		}
+	}
+	delete(s.ci, b.Key)
+	delete(s.pi, b.Key)
+	return s.cfg.Costs.Generate(generated)
+}
+
+// Dequeue implements Strategy.
+func (s *IPBS) Dequeue() (metablocking.Comparison, bool) {
+	return s.index.PopBest()
+}
+
+// Pending implements Strategy.
+func (s *IPBS) Pending() int { return s.index.Len() }
+
+// ActiveBlocks returns the number of blocks currently awaiting emission (for
+// observability and tests).
+func (s *IPBS) ActiveBlocks() int { return len(s.ci) }

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+
+	"pier/internal/blocking"
+	"pier/internal/profile"
+)
+
+func TestISNFindsSharedTokenPairs(t *testing.T) {
+	s := NewISN(testConfig(), 0)
+	if s.Name() != "I-SN" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if s.window != DefaultSNWindow {
+		t.Errorf("window = %d, want default", s.window)
+	}
+	col, ps := tinyWorld(t)
+	cost := s.UpdateIndex(col, ps)
+	if cost <= 0 {
+		t.Error("I-SN must charge indexing cost")
+	}
+	c, ok := s.Dequeue()
+	if !ok || c.Key() != profile.PairKey(1, 2) {
+		t.Errorf("first emission = %v, %v; want the strong pair (1,2)", c, ok)
+	}
+}
+
+func TestISNFindsNeighborKeyPairsWithoutSharedTokens(t *testing.T) {
+	// "uniqua" and "uniqueness" share no token with "unique" but sort next
+	// to it — the case token blocking misses and sorted neighborhood wins.
+	cfg := testConfig()
+	s := NewISN(cfg, 3)
+	col := blocking.NewCollection(true, 0)
+	ps := []*profile.Profile{
+		mk(1, profile.SourceA, "unique"),
+		mk(2, profile.SourceB, "uniqua"),
+	}
+	for _, p := range ps {
+		col.Add(p)
+	}
+	s.UpdateIndex(col, ps)
+	c, ok := s.Dequeue()
+	if !ok || c.Key() != profile.PairKey(1, 2) {
+		t.Errorf("I-SN missed the neighbor-key pair: %v, %v", c, ok)
+	}
+}
+
+func TestISNCrossIncrement(t *testing.T) {
+	s := NewISN(testConfig(), 4)
+	col := blocking.NewCollection(true, 0)
+	p1 := mk(1, profile.SourceA, "matrix sequel film")
+	col.Add(p1)
+	s.UpdateIndex(col, []*profile.Profile{p1})
+	for {
+		if _, ok := s.Dequeue(); !ok {
+			break
+		}
+	}
+	p2 := mk(2, profile.SourceB, "matrix sequel movie")
+	col.Add(p2)
+	s.UpdateIndex(col, []*profile.Profile{p2})
+	c, ok := s.Dequeue()
+	if !ok || c.Key() != profile.PairKey(1, 2) {
+		t.Errorf("cross-increment pair not found: %v %v", c, ok)
+	}
+	if s.Pending() < 0 {
+		t.Error("negative pending")
+	}
+}
+
+func TestISNCleanCleanSkipsSameSource(t *testing.T) {
+	s := NewISN(testConfig(), 4)
+	col := blocking.NewCollection(true, 0)
+	ps := []*profile.Profile{
+		mk(1, profile.SourceA, "token alpha"),
+		mk(2, profile.SourceA, "token beta"),
+	}
+	for _, p := range ps {
+		col.Add(p)
+	}
+	s.UpdateIndex(col, ps)
+	if c, ok := s.Dequeue(); ok {
+		t.Errorf("same-source pair emitted: %v", c)
+	}
+}
+
+func TestISNTicksAreFree(t *testing.T) {
+	s := NewISN(testConfig(), 4)
+	col := blocking.NewCollection(true, 0)
+	if cost := s.UpdateIndex(col, nil); cost != 0 {
+		t.Errorf("tick cost = %v", cost)
+	}
+}

@@ -1,0 +1,99 @@
+// Package core implements the paper's contribution: the incremental
+// comparison prioritization component of the PIER pipeline (Algorithm 1) and
+// its three strategies — comparison-centric I-PCS (Algorithm 2),
+// block-centric I-PBS (Algorithm 3), and entity-centric I-PES (Algorithm 4) —
+// together with the adaptive batch-size policy findK.
+//
+// A strategy maintains the global comparison index CmpIndex: the best
+// unexecuted comparisons over *all* profiles seen so far (the paper's
+// globality condition). The pipeline driver calls UpdateIndex for every data
+// increment — including the periodic empty increments the blocking stage
+// emits when the stream is idle — and then dequeues up to K comparisons for
+// the matcher, with K chosen adaptively from the observed input and service
+// rates.
+package core
+
+import (
+	"time"
+
+	"pier/internal/blocking"
+	"pier/internal/match"
+	"pier/internal/metablocking"
+	"pier/internal/profile"
+)
+
+// Strategy is the IncrPrioritization plug-in of Algorithm 1. Implementations
+// are not safe for concurrent use; the pipeline runners serialize access.
+type Strategy interface {
+	// Name returns the algorithm's paper name (e.g. "I-PES").
+	Name() string
+	// UpdateIndex integrates a data increment into the global comparison
+	// index (updateCmpIndex in Algorithms 2–4). An empty delta is the
+	// periodic tick blocking emits when no new data arrived; strategies
+	// use it to refill the index from leftover work. The returned duration
+	// is the modeled virtual cost of the maintenance performed.
+	UpdateIndex(col *blocking.Collection, delta []*profile.Profile) time.Duration
+	// Dequeue removes and returns the best remaining comparison
+	// (CmpIndex.dequeue in the paper), or ok == false if the index is
+	// empty.
+	Dequeue() (metablocking.Comparison, bool)
+	// Pending returns the number of comparisons currently queued.
+	Pending() int
+}
+
+// Config collects the tuning knobs shared by the PIER strategies.
+type Config struct {
+	// Scheme is the meta-blocking weighting scheme; the paper uses CBS.
+	Scheme metablocking.Scheme
+	// Beta is the block-ghosting parameter β (see blocking.Ghost);
+	// <= 0 disables ghosting.
+	Beta float64
+	// FilterRatio applies block filtering before ghosting: each profile
+	// keeps only this fraction of its smallest blocks (see
+	// blocking.FilterTopR); <= 0 or >= 1 disables filtering.
+	FilterRatio float64
+	// IndexCapacity bounds the main comparison index (I-PCS queue, I-PBS
+	// queue, and the low-weight queue PQ of I-PES); <= 0 means unbounded.
+	IndexCapacity int
+	// PerEntityCapacity bounds each per-entity queue of I-PES; the paper
+	// leaves them unbounded (0), relying on the insert() average-weight
+	// pruning; a positive value enables the bounded-queue ablation.
+	PerEntityCapacity int
+	// Costs is the virtual-time cost model charged for maintenance work.
+	Costs match.CostModel
+}
+
+// DefaultConfig returns the configuration used throughout the experiments.
+func DefaultConfig() Config {
+	return Config{
+		Scheme:            metablocking.CBS,
+		Beta:              0.2,
+		IndexCapacity:     100_000,
+		PerEntityCapacity: 0,
+		Costs:             match.DefaultCosts(),
+	}
+}
+
+// EmitBatch implements the emission loop of Algorithm 1 (lines 3–8): it
+// dequeues up to k comparisons from the strategy's index in priority order.
+func EmitBatch(s Strategy, k int) []metablocking.Comparison {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]metablocking.Comparison, 0, min(k, s.Pending()))
+	for len(out) < k {
+		c, ok := s.Dequeue()
+		if !ok {
+			break
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,40 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary bytes to the profile CSV reader: it must
+// either return an error or a structurally sound dataset, never panic.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,A,key,name,value\n2,B,key2,attr,val\n")
+	f.Add("")
+	f.Add("x,y,z\n")
+	f.Add("1,A,k,n\n")
+	f.Add("9999999,B,k\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		d, err := ReadCSV(strings.NewReader(in), "fuzz", true)
+		if err != nil {
+			return
+		}
+		for _, p := range d.Profiles {
+			if p == nil {
+				t.Fatal("nil profile in parsed dataset")
+			}
+			_ = p.Tokens()
+			_ = p.JoinedValues()
+		}
+	})
+}
+
+// FuzzReadGroundTruthCSV: same robustness contract for the pair reader.
+func FuzzReadGroundTruthCSV(f *testing.F) {
+	f.Add("1,2\n3,4\n")
+	f.Add("a,b\n")
+	f.Add("1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		d := &Dataset{GroundTruth: map[uint64]struct{}{}}
+		_ = ReadGroundTruthCSV(strings.NewReader(in), d)
+	})
+}

@@ -1,0 +1,380 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pier/internal/profile"
+)
+
+// attr is a shorthand constructor for attribute lists.
+func attr(nameValue ...string) []profile.Attribute {
+	out := make([]profile.Attribute, 0, len(nameValue)/2)
+	for i := 0; i+1 < len(nameValue); i += 2 {
+		out = append(out, profile.Attribute{Name: nameValue[i], Value: nameValue[i+1]})
+	}
+	return out
+}
+
+func scaled(n int, scale float64) int {
+	if scale <= 0 {
+		scale = 1
+	}
+	v := int(float64(n) * scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// DA generates the dblp-acm substitute (D_da of Table 1): a small Clean-Clean
+// bibliographic workload. At scale 1 it reproduces the paper's cardinalities:
+// 2620 source-A profiles, 2290 source-B profiles, 2220 matches. Source A uses
+// DBLP-style attribute names, source B ACM-style names; duplicates carry
+// typos, abbreviated authors, and dropped tokens.
+func DA(scale float64, seed int64) *Dataset {
+	const (
+		nA      = 2620
+		matches = 2220
+		nB      = 2290
+	)
+	b := newBuilder(seed)
+	titles := newVocab(b.rng, 1200, 1.15)
+	names := newVocab(b.rng, 700, 1.1)
+	venues := []string{"sigmod conference", "vldb", "acm trans databases", "sigmod record", "vldb journal"}
+
+	numA, numMatch, numB := scaled(nA, scale), scaled(matches, scale), scaled(nB, scale)
+	if numMatch > numA {
+		numMatch = numA
+	}
+	if numMatch > numB {
+		numMatch = numB
+	}
+	type paper struct{ title, authors, venue, year string }
+	mkPaper := func() paper {
+		nAuth := 1 + b.rng.Intn(3)
+		auth := ""
+		for i := 0; i < nAuth; i++ {
+			if i > 0 {
+				auth += ", "
+			}
+			auth += names.sample() + " " + names.sample()
+		}
+		return paper{
+			title:   titles.phrase(b.rng, 4+b.rng.Intn(5)),
+			authors: auth,
+			venue:   venues[b.rng.Intn(len(venues))],
+			year:    fmt.Sprintf("%d", 1995+b.rng.Intn(10)),
+		}
+	}
+	for i := 0; i < numA; i++ {
+		key := fmt.Sprintf("da-%d", i)
+		p := mkPaper()
+		b.add(profile.SourceA, key, attr(
+			"title", p.title, "authors", p.authors, "venue", p.venue, "year", p.year))
+		if i < numMatch {
+			// ACM-side duplicate with perturbations and a different schema.
+			authors := p.authors
+			if b.rng.Float64() < 0.4 {
+				authors = abbreviateAuthors(b.rng, authors)
+			}
+			b.add(profile.SourceB, key, attr(
+				"name", perturbPhrase(b.rng, p.title, 0.12, 0.08),
+				"writers", authors,
+				"booktitle", p.venue,
+				"date", p.year))
+		}
+	}
+	for i := numMatch; i < numB; i++ { // novel B-side entities
+		p := mkPaper()
+		b.add(profile.SourceB, fmt.Sprintf("da-b-%d", i), attr(
+			"name", p.title, "writers", p.authors, "booktitle", p.venue, "date", p.year))
+	}
+	return b.finalize("dblp-acm", true)
+}
+
+// abbreviateAuthors shortens each author's first name to an initial.
+func abbreviateAuthors(rng *rand.Rand, authors string) string {
+	out := ""
+	first := true
+	for _, part := range splitComma(authors) {
+		if !first {
+			out += ", "
+		}
+		first = false
+		ws := splitSpace(part)
+		if len(ws) >= 2 && rng.Float64() < 0.8 {
+			out += abbreviate(ws[0]) + " " + ws[len(ws)-1]
+		} else {
+			out += part
+		}
+	}
+	return out
+}
+
+// Movies generates the movies substitute (D_movies): a moderate Clean-Clean
+// workload with near-total duplicate coverage. At scale 1: 27600 source-A
+// profiles, 23100 source-B, 22800 matches.
+func Movies(scale float64, seed int64) *Dataset {
+	const (
+		nA      = 27600
+		nB      = 23100
+		matches = 22800
+	)
+	b := newBuilder(seed)
+	titles := newVocab(b.rng, 6000, 1.2)
+	names := newVocab(b.rng, 3000, 1.15)
+
+	numA, numB, numMatch := scaled(nA, scale), scaled(nB, scale), scaled(matches, scale)
+	if numMatch > numA {
+		numMatch = numA
+	}
+	if numMatch > numB {
+		numMatch = numB
+	}
+	type movie struct{ title, director, actors, year string }
+	mkMovie := func() movie {
+		nAct := 2 + b.rng.Intn(4)
+		actors := ""
+		for i := 0; i < nAct; i++ {
+			if i > 0 {
+				actors += ", "
+			}
+			actors += names.sample() + " " + names.sample()
+		}
+		return movie{
+			title:    titles.phrase(b.rng, 2+b.rng.Intn(4)),
+			director: names.sample() + " " + names.sample(),
+			actors:   actors,
+			year:     fmt.Sprintf("%d", 1950+b.rng.Intn(70)),
+		}
+	}
+	for i := 0; i < numA; i++ {
+		key := fmt.Sprintf("mv-%d", i)
+		m := mkMovie()
+		b.add(profile.SourceA, key, attr(
+			"title", m.title, "director", m.director, "actors", m.actors, "year", m.year))
+		if i < numMatch {
+			actors := m.actors
+			if b.rng.Float64() < 0.3 { // truncated cast list
+				actors = truncateList(actors)
+			}
+			b.add(profile.SourceB, key, attr(
+				"name", perturbPhrase(b.rng, m.title, 0.10, 0.06),
+				"directed_by", perturbPhrase(b.rng, m.director, 0.10, 0),
+				"starring", actors,
+				"release", m.year))
+		}
+	}
+	for i := numMatch; i < numB; i++ {
+		m := mkMovie()
+		b.add(profile.SourceB, fmt.Sprintf("mv-b-%d", i), attr(
+			"name", m.title, "directed_by", m.director, "starring", m.actors, "release", m.year))
+	}
+	return b.finalize("movies", true)
+}
+
+// Census generates the Febrl-style synthetic census substitute (D_2M): a
+// Dirty ER workload of short, relational person records. At scale 1 it
+// produces 2M profiles with ~1.7M matches, following the paper; duplicate
+// cluster sizes are distributed so that matches ≈ 0.85 × profiles. The short,
+// non-heterogeneous values make the smallest blocks highly informative, the
+// property that favors I-PBS on this dataset in the paper.
+func Census(scale float64, seed int64) *Dataset {
+	const nProfiles = 2_000_000
+	b := newBuilder(seed)
+	given := newVocab(b.rng, 900, 1.1)
+	sur := newVocab(b.rng, 2500, 1.1)
+	streets := newVocab(b.rng, 1500, 1.1)
+	suburbs := newVocab(b.rng, 400, 1.05)
+	states := []string{"nsw", "vic", "qld", "wa", "sa", "tas", "act", "nt"}
+
+	target := scaled(nProfiles, scale)
+	// Duplicate-count distribution per original: E[cluster] = 2.25
+	// profiles, E[matches] = 2.05 per cluster, ratio ≈ 0.91.
+	dupDist := []struct {
+		dups int
+		p    float64
+	}{{0, 0.30}, {1, 0.35}, {2, 0.20}, {3, 0.10}, {4, 0.05}}
+	drawDups := func() int {
+		r := b.rng.Float64()
+		acc := 0.0
+		for _, d := range dupDist {
+			acc += d.p
+			if r < acc {
+				return d.dups
+			}
+		}
+		return 0
+	}
+	type person struct{ gn, sn, num, street, suburb, post, state, dob, ssn string }
+	mkPerson := func() person {
+		return person{
+			gn:     given.sample(),
+			sn:     sur.sample(),
+			num:    digits(b.rng, 1+b.rng.Intn(3)),
+			street: streets.sample() + " street",
+			suburb: suburbs.sample(),
+			post:   digits(b.rng, 4),
+			state:  states[b.rng.Intn(len(states))],
+			dob:    fmt.Sprintf("19%s%s", digits(b.rng, 2), digits(b.rng, 4)),
+			ssn:    digits(b.rng, 7),
+		}
+	}
+	asAttrs := func(p person) []profile.Attribute {
+		return attr(
+			"given_name", p.gn, "surname", p.sn,
+			"street_number", p.num, "address_1", p.street,
+			"suburb", p.suburb, "postcode", p.post, "state", p.state,
+			"date_of_birth", p.dob, "soc_sec_id", p.ssn)
+	}
+	corrupt := func(p person) person {
+		c := p
+		for n := 1 + b.rng.Intn(3); n > 0; n-- {
+			switch b.rng.Intn(6) {
+			case 0:
+				c.gn = typo(b.rng, c.gn)
+			case 1:
+				c.sn = typo(b.rng, c.sn)
+			case 2:
+				c.gn, c.sn = c.sn, c.gn // field swap
+			case 3:
+				c.post = digitTypo(b.rng, c.post)
+			case 4:
+				c.ssn = digitTypo(b.rng, c.ssn)
+			default:
+				c.street = typo(b.rng, c.street)
+			}
+		}
+		return c
+	}
+	made := 0
+	for cluster := 0; made < target; cluster++ {
+		key := fmt.Sprintf("cs-%d", cluster)
+		p := mkPerson()
+		b.add(profile.SourceA, key, asAttrs(p))
+		made++
+		for d := drawDups(); d > 0 && made < target; d-- {
+			b.add(profile.SourceA, key, asAttrs(corrupt(p)))
+			made++
+		}
+	}
+	return b.finalize("census", false)
+}
+
+// WebData generates the dbpedia substitute (D_dbpedia): a large, highly
+// heterogeneous Clean-Clean workload with long free-text values and
+// per-profile attribute variability. At scale 1: 1.19M source-A profiles,
+// 2.16M source-B, 892k matches. The long descriptions make ED comparisons
+// very expensive and mislead CBS toward token-rich non-matches — the paper's
+// explanation for I-PCS/I-PBS degrading on dbpedia under ED.
+func WebData(scale float64, seed int64) *Dataset {
+	const (
+		nA      = 1_190_000
+		nB      = 2_160_000
+		matches = 892_000
+	)
+	b := newBuilder(seed)
+	names := newVocab(b.rng, 8000, 1.25)
+	desc := newVocab(b.rng, 20000, 1.35)
+	types := []string{"person", "place", "organisation", "work", "species", "event"}
+	extraAttrs := []string{"field", "region", "era", "category", "genre", "origin", "affiliation"}
+
+	numA, numB, numMatch := scaled(nA, scale), scaled(nB, scale), scaled(matches, scale)
+	if numMatch > numA {
+		numMatch = numA
+	}
+	if numMatch > numB {
+		numMatch = numB
+	}
+	type entity struct {
+		name, typ, long string
+		extras          [][2]string
+	}
+	mkEntity := func() entity {
+		e := entity{
+			name: names.phrase(b.rng, 1+b.rng.Intn(3)),
+			typ:  types[b.rng.Intn(len(types))],
+			long: desc.phrase(b.rng, 12+b.rng.Intn(30)),
+		}
+		for i := 0; i < b.rng.Intn(4); i++ {
+			e.extras = append(e.extras, [2]string{
+				extraAttrs[b.rng.Intn(len(extraAttrs))],
+				desc.phrase(b.rng, 1+b.rng.Intn(3)),
+			})
+		}
+		return e
+	}
+	emit := func(src profile.Source, key string, e entity, perturbed bool) {
+		long := e.long
+		name := e.name
+		if perturbed {
+			name = perturbPhrase(b.rng, name, 0.10, 0.05)
+			long = perturbPhrase(b.rng, long, 0.08, 0.15)
+		}
+		var attrs []profile.Attribute
+		if src == profile.SourceA {
+			attrs = attr("label", name, "type", e.typ, "abstract", long)
+		} else {
+			attrs = attr("name", name, "kind", e.typ, "comment", long)
+		}
+		for _, ex := range e.extras {
+			if perturbed && b.rng.Float64() < 0.3 {
+				continue // heterogeneity: extras often missing on one side
+			}
+			attrs = append(attrs, profile.Attribute{Name: ex[0], Value: ex[1]})
+		}
+		b.add(src, key, attrs)
+	}
+	for i := 0; i < numA; i++ {
+		key := fmt.Sprintf("wd-%d", i)
+		e := mkEntity()
+		emit(profile.SourceA, key, e, false)
+		if i < numMatch {
+			emit(profile.SourceB, key, e, true)
+		}
+	}
+	for i := numMatch; i < numB; i++ {
+		emit(profile.SourceB, fmt.Sprintf("wd-b-%d", i), mkEntity(), false)
+	}
+	return b.finalize("webdata", true)
+}
+
+func splitComma(s string) []string { return splitOn(s, ',') }
+func splitSpace(s string) []string { return splitOn(s, ' ') }
+
+func splitOn(s string, sep rune) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == sep {
+			if cur != "" {
+				out = append(out, cur)
+			}
+			cur = ""
+			continue
+		}
+		if r == ' ' && sep == ',' && cur == "" {
+			continue // trim leading spaces after commas
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// truncateList keeps roughly the first half of a comma-separated list.
+func truncateList(s string) string {
+	parts := splitComma(s)
+	keep := (len(parts) + 1) / 2
+	out := ""
+	for i := 0; i < keep; i++ {
+		if i > 0 {
+			out += ", "
+		}
+		out += parts[i]
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"pier/internal/profile"
+)
+
+// CSV layout: one profile per record, variable length:
+//
+//	id, source(A|B), entity_key, name1, value1, name2, value2, ...
+//
+// Ground-truth CSV: two columns, the profile IDs of each duplicate pair.
+
+// WriteCSV writes the dataset's profiles in the repository CSV layout.
+func WriteCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	for _, p := range d.Profiles {
+		rec := []string{strconv.Itoa(p.ID), p.Source.String(), p.EntityKey}
+		for _, a := range p.Attributes {
+			rec = append(rec, a.Name, a.Value)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write profile %d: %w", p.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteGroundTruthCSV writes the duplicate pairs as two-column CSV.
+func WriteGroundTruthCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	for key := range d.GroundTruth {
+		x, y := profile.SplitPairKey(key)
+		if err := cw.Write([]string{strconv.Itoa(x), strconv.Itoa(y)}); err != nil {
+			return fmt.Errorf("dataset: write ground truth: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses profiles from the repository CSV layout. cleanClean tags the
+// resulting dataset; name is informational.
+func ReadCSV(r io.Reader, name string, cleanClean bool) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	d := &Dataset{Name: name, CleanClean: cleanClean, GroundTruth: make(map[uint64]struct{})}
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read line %d: %w", line, err)
+		}
+		if len(rec) < 3 || (len(rec)-3)%2 != 0 {
+			return nil, fmt.Errorf("dataset: line %d: want id,source,key followed by name/value pairs, got %d fields", line, len(rec))
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad id %q: %w", line, rec[0], err)
+		}
+		src := profile.SourceA
+		switch rec[1] {
+		case "A", "a":
+		case "B", "b":
+			src = profile.SourceB
+		default:
+			return nil, fmt.Errorf("dataset: line %d: bad source %q (want A or B)", line, rec[1])
+		}
+		p := &profile.Profile{ID: id, Source: src, EntityKey: rec[2]}
+		for i := 3; i+1 < len(rec); i += 2 {
+			p.Attributes = append(p.Attributes, profile.Attribute{Name: rec[i], Value: rec[i+1]})
+		}
+		d.Profiles = append(d.Profiles, p)
+	}
+	return d, nil
+}
+
+// ReadGroundTruthCSV parses two-column duplicate pairs into the dataset's
+// ground-truth set.
+func ReadGroundTruthCSV(r io.Reader, d *Dataset) error {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("dataset: ground truth line %d: %w", line, err)
+		}
+		x, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return fmt.Errorf("dataset: ground truth line %d: bad id %q", line, rec[0])
+		}
+		y, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return fmt.Errorf("dataset: ground truth line %d: bad id %q", line, rec[1])
+		}
+		d.GroundTruth[profile.PairKey(x, y)] = struct{}{}
+	}
+}

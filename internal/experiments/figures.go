@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"pier/internal/baseline"
+	"pier/internal/core"
+	"pier/internal/dataset"
+	"pier/internal/match"
+	"pier/internal/stream"
+)
+
+// staticIncs returns the increment count for the static setting: batch
+// algorithms see all data upfront, incremental ones the paper's split.
+func staticIncs(batchInit bool, d *dataset.Dataset) int {
+	if batchInit {
+		return 1
+	}
+	return increments(d)
+}
+
+// Fig1 reproduces the conceptual Figure 1 as a measured mini-experiment:
+// batch ER, a progressive algorithm (PBS), and incremental ER (I-BASE) on the
+// static movies dataset, PC over time.
+func Fig1(w io.Writer, opt Options) {
+	s := newSuite(opt)
+	d := s.Movies()
+	cfg := core.DefaultConfig()
+	budget := opt.budgetFor(d)
+	algs := algorithmSet{
+		{"BATCH", func() core.Strategy { return baseline.NewBatch(cfg) }, true},
+		{"PBS", func() core.Strategy { return baseline.NewPBS(cfg, baseline.ScopeGlobal, "PBS") }, true},
+		{"I-BASE", func() core.Strategy { return baseline.NewIBase(cfg) }, false},
+		{"I-PES", func() core.Strategy { return core.NewIPES(cfg) }, false},
+	}
+	var rows []row
+	for _, a := range algs {
+		res := runOne(a.mk(), d, staticIncs(a.batchInit, d), 0, match.JS, budget)
+		saveCurve(opt, "fig1", d.Name, "JS", a.name)(res)
+		rows = append(rows, timeRow(a.name, res, budget))
+	}
+	fmt.Fprintln(w, "Figure 1 (measured): matches found over time on static data")
+	printTimeTable(w, fmt.Sprintf("%s, JS, static", d.Name), budget, timeCheckpoints, rows)
+}
+
+// Fig2 reproduces the motivation grid of Figure 2: PPS-GLOBAL, PPS-LOCAL,
+// I-BASE and I-PES on the movies dataset under slow vs fast and short vs long
+// streams (PC over time, JS matcher).
+func Fig2(w io.Writer, opt Options) {
+	s := newSuite(opt)
+	d := s.Movies()
+	cfg := core.DefaultConfig()
+	algs := algorithmSet{
+		{"PPS-GLOBAL", func() core.Strategy { return baseline.NewPPS(cfg, baseline.ScopeGlobal, "") }, false},
+		{"PPS-LOCAL", func() core.Strategy { return baseline.NewPPS(cfg, baseline.ScopeLocal, "") }, false},
+		{"I-BASE", func() core.Strategy { return baseline.NewIBase(cfg) }, false},
+		{"I-PES", func() core.Strategy { return core.NewIPES(cfg) }, false},
+	}
+	short := increments(d) / 4
+	long := increments(d) * 2
+	fmt.Fprintln(w, "Figure 2: progressive adaptations vs incremental vs PIER on movies (JS)")
+	for _, grid := range []struct {
+		label string
+		nIncs int
+		rate  float64
+	}{
+		{"slow stream, short", short, 2},
+		{"fast stream, short", short, 64},
+		{"slow stream, long", long, 4},
+		{"fast stream, long", long, 128},
+	} {
+		rate := opt.effectiveRate(grid.rate)
+		budget := opt.streamBudget(grid.nIncs, rate)
+		var rows []row
+		for _, a := range algs {
+			res := runOne(a.mk(), d, grid.nIncs, rate, match.JS, budget)
+			saveCurve(opt, "fig2", grid.label, a.name)(res)
+			rows = append(rows, timeRow(a.name, res, budget))
+		}
+		printTimeTable(w, fmt.Sprintf("movies, %s (%d increments @ %.1f dD/s nominal)", grid.label, grid.nIncs, grid.rate), budget, timeCheckpoints, rows)
+	}
+}
+
+// fig4Datasets returns the four datasets with their budgets (small datasets
+// get the small budget, large ones the large budget, as in the paper).
+func (s *suite) fig4Datasets(opt Options) []struct {
+	d      *dataset.Dataset
+	budget time.Duration
+} {
+	return []struct {
+		d      *dataset.Dataset
+		budget time.Duration
+	}{
+		{s.DA(), opt.budgetFor(s.DA())},
+		{s.Movies(), opt.budgetFor(s.Movies())},
+		{s.Census(), opt.budgetFor(s.Census())},
+		{s.Web(), opt.budgetFor(s.Web())},
+	}
+}
+
+// Fig4 reproduces Figure 4: PC over time in the progressive (static) setting
+// for PPS, PBS and the three PIER algorithms, across all four datasets and
+// both match functions.
+func Fig4(w io.Writer, opt Options) {
+	s := newSuite(opt)
+	cfg := core.DefaultConfig()
+	algs := append(progressiveBaselines(cfg), pierAlgorithms(cfg)...)
+	fmt.Fprintln(w, "Figure 4: PC over time, progressive setting (static data)")
+	for _, ds := range s.fig4Datasets(opt) {
+		for _, kind := range []match.Kind{match.JS, match.ED} {
+			var rows []row
+			for _, a := range algs {
+				res := runOne(a.mk(), ds.d, staticIncs(a.batchInit, ds.d), 0, kind, ds.budget)
+				saveCurve(opt, "fig4", ds.d.Name, kind, a.name)(res)
+				rows = append(rows, timeRow(a.name, res, ds.budget))
+			}
+			printTimeTable(w, fmt.Sprintf("%s, %s, static", ds.d.Name, kind), ds.budget, timeCheckpoints, rows)
+		}
+	}
+}
+
+// Fig5 reproduces Figure 5: PC per emitted comparison (no time budget, run to
+// completion) for the same algorithm/dataset grid as Figure 4.
+func Fig5(w io.Writer, opt Options) {
+	s := newSuite(opt)
+	cfg := core.DefaultConfig()
+	algs := append(progressiveBaselines(cfg), pierAlgorithms(cfg)...)
+	fmt.Fprintln(w, "Figure 5: PC per emitted comparison, progressive setting (no budget)")
+	for _, ds := range s.fig4Datasets(opt) {
+		// Comparisons don't depend on the matcher's cost, only the
+		// emission order does marginally through adaptive K; the paper
+		// plots one panel per dataset. Use JS (completion is feasible).
+		results := make([]*stream.Result, len(algs))
+		maxCmp := 0
+		for i, a := range algs {
+			results[i] = runOne(a.mk(), ds.d, staticIncs(a.batchInit, ds.d), 0, match.JS, 0)
+			if results[i].Comparisons > maxCmp {
+				maxCmp = results[i].Comparisons
+			}
+		}
+		var rows []row
+		var aucs []float64
+		for i, a := range algs {
+			r := timeRow(a.name, results[i], 0)
+			r.pcs = pcOverComparisons(results[i], maxCmp)
+			rows = append(rows, r)
+			aucs = append(aucs, results[i].Curve.AUCComparisons())
+		}
+		printCmpTable(w, fmt.Sprintf("%s, static, to completion", ds.d.Name), maxCmp, rows, aucs)
+	}
+}
+
+// Fig6 reproduces Figure 6: the influence of increment size on the webdata
+// dataset with the expensive ED matcher — I-PBS and I-PES with many small
+// increments vs few large increments, against their batch counterparts PBS
+// and PPS.
+func Fig6(w io.Writer, opt Options) {
+	s := newSuite(opt)
+	d := s.Web()
+	cfg := core.DefaultConfig()
+	budget := opt.budgetFor(d)
+	many := increments(d)
+	few := many / 100
+	if few < 2 {
+		few = 2
+	}
+	type variant struct {
+		label string
+		mk    func() core.Strategy
+		nIncs int
+	}
+	variants := []variant{
+		{fmt.Sprintf("I-PBS(%d)", many), func() core.Strategy { return core.NewIPBS(cfg) }, many},
+		{fmt.Sprintf("I-PBS(%d)", few), func() core.Strategy { return core.NewIPBS(cfg) }, few},
+		{fmt.Sprintf("I-PES(%d)", many), func() core.Strategy { return core.NewIPES(cfg) }, many},
+		{fmt.Sprintf("I-PES(%d)", few), func() core.Strategy { return core.NewIPES(cfg) }, few},
+		{"PBS", func() core.Strategy { return baseline.NewPBS(cfg, baseline.ScopeGlobal, "PBS") }, 1},
+		{"PPS", func() core.Strategy { return baseline.NewPPS(cfg, baseline.ScopeGlobal, "PPS") }, 1},
+	}
+	fmt.Fprintln(w, "Figure 6: influence of increment size (webdata, ED, static)")
+	results := make([]*stream.Result, len(variants))
+	maxCmp := 0
+	var rows []row
+	for i, v := range variants {
+		results[i] = runOne(v.mk(), d, v.nIncs, 0, match.ED, budget)
+		saveCurve(opt, "fig6", d.Name, "ED", v.label)(results[i])
+		rows = append(rows, timeRow(v.label, results[i], budget))
+		if results[i].Comparisons > maxCmp {
+			maxCmp = results[i].Comparisons
+		}
+	}
+	printTimeTable(w, "webdata, ED: PC over time", budget, timeCheckpoints, rows)
+	var crows []row
+	var aucs []float64
+	for i, v := range variants {
+		r := timeRow(v.label, results[i], budget)
+		r.pcs = pcOverComparisons(results[i], maxCmp)
+		crows = append(crows, r)
+		aucs = append(aucs, results[i].Curve.AUCComparisons())
+	}
+	printCmpTable(w, "webdata, ED: PC over comparisons", maxCmp, crows, aucs)
+}
+
+// incrementalAlgorithms is the Figure-7/8 roster: the PIER algorithms,
+// I-BASE, and the GLOBAL adaptations of the progressive baselines.
+func incrementalAlgorithms(cfg core.Config) algorithmSet {
+	algs := algorithmSet{
+		{"PPS-GLOBAL", func() core.Strategy { return baseline.NewPPS(cfg, baseline.ScopeGlobal, "") }, false},
+		{"PBS-GLOBAL", func() core.Strategy { return baseline.NewPBS(cfg, baseline.ScopeGlobal, "") }, false},
+		{"I-BASE", func() core.Strategy { return baseline.NewIBase(cfg) }, false},
+	}
+	return append(algs, pierAlgorithms(cfg)...)
+}
+
+// Fig7 reproduces Figure 7: the incremental setting with a fast stream
+// (32 dD/s) on the two large datasets, both matchers.
+func Fig7(w io.Writer, opt Options) {
+	s := newSuite(opt)
+	cfg := core.DefaultConfig()
+	fmt.Fprintln(w, "Figure 7: incremental setting, fast stream (32 dD/s)")
+	for _, d := range []*dataset.Dataset{s.Census(), s.Web()} {
+		rate := opt.effectiveRate(32)
+		budget := opt.streamBudget(increments(d), rate)
+		for _, kind := range []match.Kind{match.JS, match.ED} {
+			var rows []row
+			for _, a := range incrementalAlgorithms(cfg) {
+				res := runOne(a.mk(), d, increments(d), rate, kind, budget)
+				saveCurve(opt, "fig7", d.Name, kind, a.name)(res)
+				rows = append(rows, timeRow(a.name, res, budget))
+			}
+			printTimeTable(w, fmt.Sprintf("%s, %s, 32 dD/s nominal", d.Name, kind), budget, timeCheckpoints, rows)
+		}
+	}
+}
+
+// Fig8 reproduces Figure 8: the incremental setting under varying input
+// rates (4, 8, 16 dD/s) on the two large datasets, both matchers.
+func Fig8(w io.Writer, opt Options) {
+	s := newSuite(opt)
+	cfg := core.DefaultConfig()
+	fmt.Fprintln(w, "Figure 8: incremental setting, varying input rate")
+	for _, d := range []*dataset.Dataset{s.Census(), s.Web()} {
+		for _, kind := range []match.Kind{match.JS, match.ED} {
+			for _, nominal := range []float64{4, 8, 16} {
+				rate := opt.effectiveRate(nominal)
+				budget := opt.streamBudget(increments(d), rate)
+				var rows []row
+				for _, a := range incrementalAlgorithms(cfg) {
+					res := runOne(a.mk(), d, increments(d), rate, kind, budget)
+					saveCurve(opt, "fig8", d.Name, kind, nominal, a.name)(res)
+					rows = append(rows, timeRow(a.name, res, budget))
+				}
+				printTimeTable(w, fmt.Sprintf("%s, %s, %.0f dD/s nominal", d.Name, kind, nominal), budget, timeCheckpoints, rows)
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"pier/internal/stream"
+)
+
+// timeCheckpoints are the budget fractions at which PC-over-time tables are
+// sampled.
+var timeCheckpoints = []float64{0.05, 0.1, 0.25, 0.5, 0.75, 1.0}
+
+// cmpCheckpoints are the comparison-count fractions for PC-over-comparisons
+// tables, relative to the largest comparison count among the compared runs.
+var cmpCheckpoints = []float64{0.05, 0.1, 0.25, 0.5, 0.75, 1.0}
+
+// row is one plotted line of a figure, reduced to checkpoint samples.
+type row struct {
+	label    string
+	pcs      []float64
+	finalPC  float64
+	pq       float64
+	cmps     int
+	consumed time.Duration
+	elapsed  time.Duration
+}
+
+// pcOverTime reduces a result to PC values at fractions of the budget.
+func pcOverTime(res *stream.Result, budget time.Duration) []float64 {
+	out := make([]float64, len(timeCheckpoints))
+	for i, f := range timeCheckpoints {
+		out[i] = res.Curve.PCAt(time.Duration(float64(budget) * f))
+	}
+	return out
+}
+
+// pcOverComparisons reduces a result to PC values at fractions of maxCmp
+// comparisons.
+func pcOverComparisons(res *stream.Result, maxCmp int) []float64 {
+	out := make([]float64, len(cmpCheckpoints))
+	for i, f := range cmpCheckpoints {
+		out[i] = res.Curve.PCAtComparisons(int(float64(maxCmp) * f))
+	}
+	return out
+}
+
+// timeRow builds a table row from a timed run.
+func timeRow(label string, res *stream.Result, budget time.Duration) row {
+	return row{
+		label:    label,
+		pcs:      pcOverTime(res, budget),
+		finalPC:  res.Curve.FinalPC(),
+		pq:       res.Curve.PQ(),
+		cmps:     res.Comparisons,
+		consumed: res.StreamConsumed,
+		elapsed:  res.Elapsed,
+	}
+}
+
+// printTimeTable renders PC-over-time rows. The "cons" column is the paper's
+// × marker: the virtual time at which the stream was fully consumed ("-" if
+// the budget expired first).
+func printTimeTable(w io.Writer, title string, budget time.Duration, checkpoints []float64, rows []row) {
+	fmt.Fprintf(w, "\n%s (budget %v)\n", title, budget)
+	fmt.Fprintf(w, "%-14s", "algorithm")
+	for _, f := range checkpoints {
+		fmt.Fprintf(w, " %7s", fmt.Sprintf("%d%%t", int(f*100)))
+	}
+	fmt.Fprintf(w, " %8s %10s %10s\n", "finalPC", "cmps", "consumed")
+	fmt.Fprintln(w, strings.Repeat("-", 14+8*len(checkpoints)+31))
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s", r.label)
+		for _, pc := range r.pcs {
+			fmt.Fprintf(w, " %7.3f", pc)
+		}
+		consumed := "-"
+		if r.consumed > 0 {
+			consumed = shortDur(r.consumed)
+		}
+		fmt.Fprintf(w, " %8.3f %10d %10s\n", r.finalPC, r.cmps, consumed)
+	}
+}
+
+// printCmpTable renders PC-over-comparisons rows with their AUC and pair
+// quality (PQ: ground-truth matches per executed comparison).
+func printCmpTable(w io.Writer, title string, maxCmp int, rows []row, aucs []float64) {
+	fmt.Fprintf(w, "\n%s (x-axis: comparisons, max %d)\n", title, maxCmp)
+	fmt.Fprintf(w, "%-14s", "algorithm")
+	for _, f := range cmpCheckpoints {
+		fmt.Fprintf(w, " %7s", fmt.Sprintf("%d%%c", int(f*100)))
+	}
+	fmt.Fprintf(w, " %8s %10s %8s %8s\n", "finalPC", "cmps", "AUC", "PQ")
+	fmt.Fprintln(w, strings.Repeat("-", 14+8*len(cmpCheckpoints)+38))
+	for i, r := range rows {
+		fmt.Fprintf(w, "%-14s", r.label)
+		for _, pc := range r.pcs {
+			fmt.Fprintf(w, " %7.3f", pc)
+		}
+		fmt.Fprintf(w, " %8.3f %10d %8.3f %8.3f\n", r.finalPC, r.cmps, aucs[i], r.pq)
+	}
+}
+
+// shortDur renders a duration compactly with two-digit precision.
+func shortDur(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return fmt.Sprintf("%.1fm", d.Minutes())
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	default:
+		return d.String()
+	}
+}

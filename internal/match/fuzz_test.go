@@ -1,0 +1,31 @@
+package match
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzLevenshtein verifies metric properties on arbitrary string pairs.
+// Distance is defined over decoded runes, so the identity property is only
+// asserted for valid UTF-8 (invalid bytes collapse to U+FFFD).
+func FuzzLevenshtein(f *testing.F) {
+	f.Add("kitten", "sitting")
+	f.Add("", "")
+	f.Add("日本語", "日本")
+	f.Add("ÿ", "")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		d := Levenshtein(a, b)
+		if d != Levenshtein(b, a) {
+			t.Fatalf("asymmetric: d(%q,%q)=%d", a, b, d)
+		}
+		if utf8.ValidString(a) && utf8.ValidString(b) && (d == 0) != (a == b) {
+			t.Fatalf("identity of indiscernibles violated for %q vs %q (d=%d)", a, b, d)
+		}
+		if s := EditSimilarity(a, b); s < 0 || s > 1 {
+			t.Fatalf("EditSimilarity out of range: %v", s)
+		}
+		if s := JaroWinkler(a, b); s < 0 || s > 1.0000001 {
+			t.Fatalf("JaroWinkler out of range: %v", s)
+		}
+	})
+}

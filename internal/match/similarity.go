@@ -1,0 +1,168 @@
+package match
+
+import (
+	"math"
+	"strings"
+)
+
+// Additional similarity functions beyond the paper's JS/ED pair, rounding
+// out the matching step to what a general-purpose ER library ships: string
+// measures for names (Jaro, Jaro-Winkler), token-set measures (overlap
+// coefficient, cosine), and the hybrid Monge-Elkan measure that matches
+// token lists through a secondary string similarity.
+
+// Jaro returns the Jaro similarity of two strings in [0, 1].
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchedA := make([]bool, la)
+	matchedB := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if matchedB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchedA[i] = true
+			matchedB[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions among the matched characters.
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchedA[i] {
+			continue
+		}
+		for !matchedB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(transpositions)/2)/m) / 3
+}
+
+// jaroWinklerPrefixScale is the standard Winkler prefix boost factor.
+const jaroWinklerPrefixScale = 0.1
+
+// JaroWinkler returns the Jaro-Winkler similarity: Jaro boosted by up to 4
+// characters of common prefix — the classic measure for person names.
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	ra, rb := []rune(a), []rune(b)
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*jaroWinklerPrefixScale*(1-j)
+}
+
+// Overlap returns the overlap coefficient |a ∩ b| / min(|a|, |b|) of two
+// sorted, deduplicated token slices. Both empty yields 1.
+func Overlap(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := intersectSize(a, b)
+	min := len(a)
+	if len(b) < min {
+		min = len(b)
+	}
+	return float64(inter) / float64(min)
+}
+
+// Cosine returns the set cosine similarity |a ∩ b| / sqrt(|a|·|b|) of two
+// sorted, deduplicated token slices. Both empty yields 1.
+func Cosine(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := intersectSize(a, b)
+	return float64(inter) / math.Sqrt(float64(len(a))*float64(len(b)))
+}
+
+// MongeElkan returns the (symmetrized) Monge-Elkan similarity of two token
+// slices under the Jaro-Winkler inner measure: for each token of one side,
+// the best Jaro-Winkler score against the other side, averaged; the two
+// directions are averaged for symmetry.
+func MongeElkan(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	return (mongeElkanDirected(a, b) + mongeElkanDirected(b, a)) / 2
+}
+
+func mongeElkanDirected(a, b []string) float64 {
+	total := 0.0
+	for _, ta := range a {
+		best := 0.0
+		for _, tb := range b {
+			if s := JaroWinkler(ta, tb); s > best {
+				best = s
+				if best == 1 {
+					break
+				}
+			}
+		}
+		total += best
+	}
+	return total / float64(len(a))
+}
+
+// intersectSize counts common elements of two sorted slices.
+func intersectSize(a, b []string) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch strings.Compare(a[i], b[j]) {
+		case 0:
+			n++
+			i++
+			j++
+		case -1:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}

@@ -1,0 +1,101 @@
+package metablocking
+
+import "sort"
+
+// Batch comparison-cleaning (edge pruning) algorithms from the meta-blocking
+// literature (Papadakis et al., TKDE 2013; EDBT 2016). They operate on a
+// materialized weighted edge list (see Edges) and return the retained
+// comparisons. The incremental pipeline uses I-WNP (see IWNP); these batch
+// variants serve the batch ER baseline and the comparison-cleaning ablation.
+
+// WEP (Weighted Edge Pruning) keeps every edge whose weight is at least the
+// global mean weight.
+func WEP(edges []Comparison) []Comparison {
+	if len(edges) == 0 {
+		return nil
+	}
+	sum := 0.0
+	for _, e := range edges {
+		sum += e.Weight
+	}
+	mean := sum / float64(len(edges))
+	out := make([]Comparison, 0, len(edges)/2)
+	for _, e := range edges {
+		if e.Weight >= mean {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CEP (Cardinality Edge Pruning) keeps the k globally heaviest edges (ties
+// broken deterministically by pair key). k <= 0 keeps nothing.
+func CEP(edges []Comparison, k int) []Comparison {
+	if k <= 0 || len(edges) == 0 {
+		return nil
+	}
+	sorted := append([]Comparison(nil), edges...)
+	sort.Slice(sorted, func(i, j int) bool { return Less(sorted[j], sorted[i]) })
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}
+
+// CNP (Cardinality Node Pruning) keeps, for every profile, its k heaviest
+// incident edges; an edge survives if it is retained by *either* endpoint
+// (the redundancy-positive interpretation). The result is deduplicated and
+// sorted by descending weight.
+func CNP(edges []Comparison, k int) []Comparison {
+	if k <= 0 || len(edges) == 0 {
+		return nil
+	}
+	incident := make(map[int][]Comparison)
+	for _, e := range edges {
+		incident[e.X] = append(incident[e.X], e)
+		incident[e.Y] = append(incident[e.Y], e)
+	}
+	keep := make(map[uint64]Comparison)
+	for _, list := range incident {
+		sort.Slice(list, func(i, j int) bool { return Less(list[j], list[i]) })
+		top := k
+		if top > len(list) {
+			top = len(list)
+		}
+		for _, e := range list[:top] {
+			keep[e.Key()] = e
+		}
+	}
+	out := make([]Comparison, 0, len(keep))
+	for _, e := range keep {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return Less(out[j], out[i]) })
+	return out
+}
+
+// WNP (Weighted Node Pruning) keeps, for every profile, the incident edges
+// whose weight is at least that profile's mean incident weight; an edge
+// survives if retained by either endpoint. It is the batch counterpart of
+// the incremental IWNP, which sees only one endpoint's candidates at a time.
+func WNP(edges []Comparison) []Comparison {
+	if len(edges) == 0 {
+		return nil
+	}
+	sum := make(map[int]float64)
+	cnt := make(map[int]int)
+	for _, e := range edges {
+		sum[e.X] += e.Weight
+		cnt[e.X]++
+		sum[e.Y] += e.Weight
+		cnt[e.Y]++
+	}
+	mean := func(id int) float64 { return sum[id] / float64(cnt[id]) }
+	out := make([]Comparison, 0, len(edges)/2)
+	for _, e := range edges {
+		if e.Weight >= mean(e.X) || e.Weight >= mean(e.Y) {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package metablocking
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func edgesFixture() []Comparison {
+	return []Comparison{
+		{X: 1, Y: 2, Weight: 10},
+		{X: 1, Y: 3, Weight: 1},
+		{X: 2, Y: 3, Weight: 5},
+		{X: 3, Y: 4, Weight: 2},
+		{X: 4, Y: 5, Weight: 8},
+	}
+	// global mean = 5.2
+}
+
+func keys(cs []Comparison) map[uint64]bool {
+	out := map[uint64]bool{}
+	for _, c := range cs {
+		out[c.Key()] = true
+	}
+	return out
+}
+
+func TestWEP(t *testing.T) {
+	got := WEP(edgesFixture())
+	k := keys(got)
+	// mean 5.2: survivors are weights 10 and 8.
+	if len(got) != 2 || !k[Comparison{X: 1, Y: 2}.Key()] || !k[Comparison{X: 4, Y: 5}.Key()] {
+		t.Errorf("WEP = %v", got)
+	}
+	if WEP(nil) != nil {
+		t.Error("WEP(nil) != nil")
+	}
+}
+
+func TestCEP(t *testing.T) {
+	got := CEP(edgesFixture(), 3)
+	if len(got) != 3 {
+		t.Fatalf("CEP(3) kept %d", len(got))
+	}
+	if got[0].Weight != 10 || got[1].Weight != 8 || got[2].Weight != 5 {
+		t.Errorf("CEP order = %v", got)
+	}
+	if CEP(edgesFixture(), 0) != nil {
+		t.Error("CEP(0) must keep nothing")
+	}
+	if got := CEP(edgesFixture(), 100); len(got) != 5 {
+		t.Errorf("CEP(100) = %d edges, want all 5", len(got))
+	}
+	// Input must not be reordered.
+	in := edgesFixture()
+	CEP(in, 2)
+	if in[0].Weight != 10 || in[1].Weight != 1 {
+		t.Error("CEP mutated its input")
+	}
+}
+
+func TestCNP(t *testing.T) {
+	got := CNP(edgesFixture(), 1)
+	k := keys(got)
+	// Per-node top-1: node1->(1,2); node2->(1,2); node3->(2,3); node4->(4,5);
+	// node5->(4,5). Union: {(1,2),(2,3),(4,5)}.
+	want := []Comparison{{X: 1, Y: 2}, {X: 2, Y: 3}, {X: 4, Y: 5}}
+	if len(got) != len(want) {
+		t.Fatalf("CNP(1) = %v", got)
+	}
+	for _, w := range want {
+		if !k[w.Key()] {
+			t.Errorf("CNP(1) missing %v", w)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Weight > got[i-1].Weight {
+			t.Errorf("CNP output not sorted: %v", got)
+		}
+	}
+	if CNP(edgesFixture(), 0) != nil {
+		t.Error("CNP(0) must keep nothing")
+	}
+}
+
+func TestWNPKeepsNodeTopEdges(t *testing.T) {
+	got := WNP(edgesFixture())
+	k := keys(got)
+	// Node means: n1: (10+1)/2=5.5; n2: (10+5)/2=7.5; n3: (1+5+2)/3≈2.67;
+	// n4: (2+8)/2=5; n5: 8.
+	// (1,2): 10 >= 5.5 keep. (1,3): 1 < 5.5 and 1 < 2.67 drop.
+	// (2,3): 5 < 7.5 but 5 >= 2.67 keep. (3,4): 2 < 2.67 and < 5 drop.
+	// (4,5): keep.
+	if len(got) != 3 {
+		t.Fatalf("WNP = %v", got)
+	}
+	for _, w := range []Comparison{{X: 1, Y: 2}, {X: 2, Y: 3}, {X: 4, Y: 5}} {
+		if !k[w.Key()] {
+			t.Errorf("WNP missing %v", w)
+		}
+	}
+}
+
+func TestPruningInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(50)
+		edges := make([]Comparison, n)
+		for i := range edges {
+			x := rng.Intn(20)
+			y := 20 + rng.Intn(20) // distinct endpoints
+			edges[i] = Comparison{X: x, Y: y, Weight: float64(rng.Intn(100))}
+		}
+		in := keys(edges)
+		for name, pruned := range map[string][]Comparison{
+			"WEP": WEP(edges),
+			"CEP": CEP(edges, 5),
+			"CNP": CNP(edges, 2),
+			"WNP": WNP(edges),
+		} {
+			if len(pruned) > len(edges) {
+				t.Fatalf("trial %d: %s grew the edge set", trial, name)
+			}
+			for _, e := range pruned {
+				if !in[e.Key()] {
+					t.Fatalf("trial %d: %s invented edge %v", trial, name, e)
+				}
+			}
+		}
+		if n > 0 {
+			// WEP and WNP must keep at least one edge (the max-weight edge
+			// is always >= both its endpoints' means and the global mean).
+			if len(WEP(edges)) == 0 {
+				t.Fatalf("trial %d: WEP dropped everything", trial)
+			}
+			if len(WNP(edges)) == 0 {
+				t.Fatalf("trial %d: WNP dropped everything", trial)
+			}
+		}
+	}
+}

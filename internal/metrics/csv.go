@@ -1,0 +1,35 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV writes the curve's samples as CSV with a header row:
+// seconds (virtual time), comparisons, found, and pc. External plotting
+// tools regenerate the paper's figures from these files (see pierbench's
+// -curves flag).
+func (c *Curve) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"seconds", "comparisons", "found", "pc"}); err != nil {
+		return fmt.Errorf("metrics: write header: %w", err)
+	}
+	for _, s := range c.Samples {
+		pc := 0.0
+		if c.TotalMatches > 0 {
+			pc = float64(s.Found) / float64(c.TotalMatches)
+		}
+		rec := []string{
+			fmt.Sprintf("%.6f", s.Time.Seconds()),
+			fmt.Sprintf("%d", s.Comparisons),
+			fmt.Sprintf("%d", s.Found),
+			fmt.Sprintf("%.6f", pc),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("metrics: write sample: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

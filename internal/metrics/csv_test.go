@@ -1,0 +1,32 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pier/internal/profile"
+)
+
+func TestWriteCSV(t *testing.T) {
+	gt := gtSet([2]int{1, 2}, [2]int{3, 4})
+	r := NewRecorder(gt, 1)
+	r.Observe(time.Second, profile.PairKey(1, 2))
+	r.Observe(2*time.Second, profile.PairKey(9, 10))
+	c := r.Finish(3 * time.Second)
+
+	var sb strings.Builder
+	if err := c.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "seconds,comparisons,found,pc" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != len(c.Samples)+1 {
+		t.Errorf("got %d data lines, want %d", len(lines)-1, len(c.Samples))
+	}
+	if !strings.Contains(sb.String(), "0.500000") {
+		t.Errorf("expected PC 0.5 row in:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,132 @@
+// Package plot renders progress curves as ASCII charts for the terminal —
+// the closest a CLI harness gets to the paper's figures. It is deliberately
+// dependency-free: a fixed character grid, one glyph per series, a 0..1
+// y-axis (PC) and a scaled x-axis (time or comparisons).
+package plot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one plotted line.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// seriesGlyphs are assigned to series in order; more series than glyphs wrap
+// around.
+var seriesGlyphs = []rune{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the series into a width×height character grid with a y-axis
+// labeled 0..1 (PC) and an x-axis from 0 to the maximum x across series,
+// followed by a legend. Width and height are the plot area excluding axes;
+// values below 16×4 are clamped up to stay legible.
+func Render(series []Series, width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	maxX := 0.0
+	for _, s := range series {
+		for _, p := range s.Points {
+			if p.X > maxX {
+				maxX = p.X
+			}
+		}
+	}
+	if maxX == 0 {
+		maxX = 1
+	}
+
+	grid := make([][]rune, height)
+	for i := range grid {
+		grid[i] = make([]rune, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	// Plot each series as a step function sampled per column: for column c
+	// (x range), use the largest y at or before that x — curves here are
+	// monotone PC progressions.
+	for si, s := range series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for c := 0; c < width; c++ {
+			x := maxX * float64(c) / float64(width-1)
+			y, ok := valueAt(s.Points, x)
+			if !ok {
+				continue
+			}
+			row := height - 1 - int(y*float64(height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][c] = glyph
+		}
+	}
+
+	var b strings.Builder
+	for i, line := range grid {
+		yLabel := "     "
+		switch i {
+		case 0:
+			yLabel = "1.00 "
+		case height / 2:
+			yLabel = "0.50 "
+		case height - 1:
+			yLabel = "0.00 "
+		}
+		b.WriteString(yLabel)
+		b.WriteString("|")
+		b.WriteString(string(line))
+		b.WriteString("\n")
+	}
+	b.WriteString("     +")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("\n")
+	b.WriteString(fmt.Sprintf("      0%*s\n", width-1, formatX(maxX)))
+	for si, s := range series {
+		b.WriteString(fmt.Sprintf("      %c %s\n", seriesGlyphs[si%len(seriesGlyphs)], s.Label))
+	}
+	return b.String()
+}
+
+// valueAt returns the y of the last point with X <= x, assuming points are
+// sorted by X ascending. ok is false before the first point.
+func valueAt(points []Point, x float64) (float64, bool) {
+	y := 0.0
+	ok := false
+	for _, p := range points {
+		if p.X > x {
+			break
+		}
+		y = p.Y
+		ok = true
+	}
+	return y, ok
+}
+
+// formatX renders the x-axis maximum compactly.
+func formatX(x float64) string {
+	switch {
+	case x >= 1e6:
+		return fmt.Sprintf("%.1fM", x/1e6)
+	case x >= 1e3:
+		return fmt.Sprintf("%.1fk", x/1e3)
+	case x >= 10:
+		return fmt.Sprintf("%.0f", x)
+	default:
+		return fmt.Sprintf("%.2f", x)
+	}
+}

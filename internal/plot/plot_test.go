@@ -1,0 +1,89 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicShape(t *testing.T) {
+	s := []Series{{
+		Label:  "I-PES",
+		Points: []Point{{0, 0}, {0.5, 0.5}, {1, 1}},
+	}}
+	out := Render(s, 40, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 10 grid rows + axis line + x labels + 1 legend line.
+	if len(lines) != 13 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "1.00 |") {
+		t.Errorf("top row label: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[9], "0.00 |") {
+		t.Errorf("bottom row label: %q", lines[9])
+	}
+	if !strings.Contains(out, "* I-PES") {
+		t.Error("legend missing")
+	}
+	// Rising curve: the glyph must appear in both the bottom-left and
+	// top-right regions.
+	if !strings.Contains(lines[9][6:16], "*") {
+		t.Errorf("no glyph in bottom-left: %q", lines[9])
+	}
+	if !strings.Contains(lines[0][26:], "*") {
+		t.Errorf("no glyph in top-right: %q", lines[0])
+	}
+}
+
+func TestRenderMultipleSeriesDistinctGlyphs(t *testing.T) {
+	s := []Series{
+		{Label: "a", Points: []Point{{0, 0.2}, {1, 0.2}}},
+		{Label: "b", Points: []Point{{0, 0.8}, {1, 0.8}}},
+	}
+	out := Render(s, 30, 8)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("expected two glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Errorf("legend wrong:\n%s", out)
+	}
+}
+
+func TestRenderEmptyAndClamped(t *testing.T) {
+	out := Render(nil, 1, 1) // clamps to 16x4, no series
+	if !strings.Contains(out, "1.00 |") {
+		t.Errorf("clamped render missing axis:\n%s", out)
+	}
+	// A series with a single point still renders.
+	out = Render([]Series{{Label: "dot", Points: []Point{{5, 0.5}}}}, 20, 5)
+	if !strings.Contains(out, "* dot") {
+		t.Error("single-point series lost")
+	}
+}
+
+func TestValueAt(t *testing.T) {
+	pts := []Point{{1, 0.1}, {2, 0.5}, {4, 0.9}}
+	if _, ok := valueAt(pts, 0.5); ok {
+		t.Error("valueAt before first point must be !ok")
+	}
+	if y, _ := valueAt(pts, 2.5); y != 0.5 {
+		t.Errorf("valueAt(2.5) = %v, want 0.5 (step function)", y)
+	}
+	if y, _ := valueAt(pts, 100); y != 0.9 {
+		t.Errorf("valueAt(100) = %v", y)
+	}
+}
+
+func TestFormatX(t *testing.T) {
+	cases := map[float64]string{
+		2_500_000: "2.5M",
+		12_000:    "12.0k",
+		250:       "250",
+		0.75:      "0.75",
+	}
+	for x, want := range cases {
+		if got := formatX(x); got != want {
+			t.Errorf("formatX(%v) = %q, want %q", x, got, want)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package profile
+
+import "sort"
+
+// Alternative blocking-key extractors. Token blocking (the default, see
+// Tokens) misses duplicate pairs whose corresponding tokens differ by a typo
+// — they share no exact key. Q-gram and suffix keys trade larger, noisier
+// block collections for robustness against such character-level noise; the
+// blocking survey the paper builds on (Papadakis et al., CSUR 2020) covers
+// both families.
+
+// QGramSize is the gram length used by QGramKeys.
+const QGramSize = 3
+
+// QGramKeys returns the deduplicated q-gram blocking keys of the profile:
+// every QGramSize-length substring of every token (tokens shorter than
+// QGramSize are kept whole). "wachowski" and "wachowsky" share six of their
+// seven grams, so a trailing typo no longer separates the profiles.
+func QGramKeys(p *Profile) []string {
+	set := make(map[string]struct{})
+	for _, tok := range p.Tokens() {
+		r := []rune(tok)
+		if len(r) <= QGramSize {
+			set[tok] = struct{}{}
+			continue
+		}
+		for i := 0; i+QGramSize <= len(r); i++ {
+			set[string(r[i:i+QGramSize])] = struct{}{}
+		}
+	}
+	return setToSlice(set)
+}
+
+// SuffixMinLen is the shortest suffix emitted by SuffixKeys.
+const SuffixMinLen = 4
+
+// SuffixKeys returns suffix blocking keys: every suffix of every token down
+// to SuffixMinLen runes. Suffix blocking catches prefix corruptions and
+// prefix-varying values (e.g. "weststrasse"/"oststrasse").
+func SuffixKeys(p *Profile) []string {
+	set := make(map[string]struct{})
+	for _, tok := range p.Tokens() {
+		r := []rune(tok)
+		if len(r) <= SuffixMinLen {
+			set[tok] = struct{}{}
+			continue
+		}
+		for i := 0; len(r)-i >= SuffixMinLen; i++ {
+			set[string(r[i:])] = struct{}{}
+		}
+	}
+	return setToSlice(set)
+}
+
+func setToSlice(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,18 @@
+package profile
+
+// PairKey returns a canonical 64-bit key for the unordered profile pair
+// {x, y}: the smaller ID in the high 32 bits, the larger in the low 32 bits.
+// It is the key used by comparison filters, executed-pair sets, and ground
+// truth throughout the repository. IDs must be non-negative and fit in 32
+// bits, which the data readers guarantee.
+func PairKey(x, y int) uint64 {
+	if x > y {
+		x, y = y, x
+	}
+	return uint64(uint32(x))<<32 | uint64(uint32(y))
+}
+
+// SplitPairKey is the inverse of PairKey, returning (smaller, larger).
+func SplitPairKey(k uint64) (x, y int) {
+	return int(k >> 32), int(uint32(k))
+}

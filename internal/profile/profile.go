@@ -1,0 +1,156 @@
+// Package profile defines schema-agnostic entity profiles, the input unit of
+// every ER pipeline in this repository, together with the tokenizer used for
+// schema-agnostic blocking and Jaccard matching.
+//
+// A profile is a bag of attribute name/value pairs with no schema assumption:
+// two profiles describing the same real-world entity may use entirely
+// different attribute names, value formats, and cardinalities. All downstream
+// components (blocking, meta-blocking, matching) therefore operate only on
+// the tokens extracted from attribute values, never on attribute names,
+// following the schema-agnostic ER line of work the paper builds on.
+package profile
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// Source identifies the data source a profile belongs to. Clean-Clean ER
+// resolves across two individually duplicate-free sources (SourceA vs
+// SourceB); Dirty ER resolves within a single source (all profiles SourceA).
+type Source uint8
+
+// The two sources of a Clean-Clean ER task. Dirty ER uses SourceA only.
+const (
+	SourceA Source = 0
+	SourceB Source = 1
+)
+
+// String returns "A" or "B".
+func (s Source) String() string {
+	if s == SourceB {
+		return "B"
+	}
+	return "A"
+}
+
+// Attribute is a single name/value pair of a profile. Names carry no
+// semantics for the pipeline; they exist for provenance and debugging.
+type Attribute struct {
+	Name  string
+	Value string
+}
+
+// Profile is a schema-agnostic entity profile.
+//
+// ID is assigned by the data reader and is unique across the whole stream
+// (both sources). EntityKey optionally links the profile to the ground truth:
+// two profiles with the same non-empty EntityKey refer to the same real-world
+// entity. The pipeline itself never reads EntityKey; only the evaluation
+// harness does.
+type Profile struct {
+	ID         int
+	Source     Source
+	EntityKey  string
+	Attributes []Attribute
+
+	tokOnce sync.Once
+	tokens  []string
+
+	joinOnce sync.Once
+	joined   string
+}
+
+// New constructs a profile from alternating name, value strings. It panics if
+// the number of nameValue arguments is odd; it is a programming-error helper
+// intended for tests and generators, not for parsing untrusted input.
+func New(id int, source Source, entityKey string, nameValue ...string) *Profile {
+	if len(nameValue)%2 != 0 {
+		panic("profile.New: odd number of name/value arguments")
+	}
+	attrs := make([]Attribute, 0, len(nameValue)/2)
+	for i := 0; i < len(nameValue); i += 2 {
+		attrs = append(attrs, Attribute{Name: nameValue[i], Value: nameValue[i+1]})
+	}
+	return &Profile{ID: id, Source: source, EntityKey: entityKey, Attributes: attrs}
+}
+
+// Tokens returns the deduplicated, sorted token set extracted from all
+// attribute values of the profile. The result is computed once and cached;
+// callers must not mutate it.
+func (p *Profile) Tokens() []string {
+	p.tokOnce.Do(func() {
+		set := make(map[string]struct{})
+		for _, a := range p.Attributes {
+			for _, t := range Tokenize(a.Value) {
+				set[t] = struct{}{}
+			}
+		}
+		p.tokens = make([]string, 0, len(set))
+		for t := range set {
+			p.tokens = append(p.tokens, t)
+		}
+		sort.Strings(p.tokens)
+	})
+	return p.tokens
+}
+
+// JoinedValues returns all attribute values concatenated with single spaces,
+// lowercased. It is the string representation used by edit-distance matching.
+// The result is computed once and cached.
+func (p *Profile) JoinedValues() string {
+	p.joinOnce.Do(func() {
+		var b strings.Builder
+		for i, a := range p.Attributes {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(strings.ToLower(a.Value))
+		}
+		p.joined = b.String()
+	})
+	return p.joined
+}
+
+// ValueLen returns the total length in runes of the profile's joined value
+// string. It is the size measure used by the virtual-time cost model for
+// match functions.
+func (p *Profile) ValueLen() int {
+	return len([]rune(p.JoinedValues()))
+}
+
+// MinTokenLen is the minimum length of a token kept by Tokenize. One-character
+// tokens produce enormous, uninformative blocks that block purging would drop
+// anyway; filtering them at the source keeps the block index small.
+const MinTokenLen = 2
+
+// Tokenize splits a value into schema-agnostic blocking tokens: maximal runs
+// of letters or digits, lowercased, with tokens shorter than MinTokenLen
+// bytes (after case folding — folding can shrink a rune, e.g. İ → i)
+// dropped. It is deterministic; the same input always yields the same token
+// sequence (duplicates preserved).
+func Tokenize(value string) []string {
+	var out []string
+	start := -1
+	flush := func(end int) {
+		if start >= 0 {
+			if tok := strings.ToLower(value[start:end]); len(tok) >= MinTokenLen {
+				out = append(out, tok)
+			}
+		}
+		start = -1
+	}
+	for i, r := range value {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		flush(i)
+	}
+	flush(len(value))
+	return out
+}

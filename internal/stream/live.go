@@ -1,0 +1,308 @@
+package stream
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"pier/internal/blocking"
+	"pier/internal/cluster"
+	"pier/internal/core"
+	"pier/internal/match"
+	"pier/internal/metrics"
+	"pier/internal/profile"
+)
+
+// LiveMatch is one classified pair reported by the live pipeline.
+type LiveMatch struct {
+	X, Y       *profile.Profile
+	Similarity float64
+	// At is the wall-clock time the match was classified.
+	At time.Time
+}
+
+// LiveConfig parameterizes a real-time pipeline (LiveRun). Unlike the
+// simulated runner, time here is wall-clock: increments are pushed by the
+// caller whenever they become available, and the pipeline fills the gaps
+// between arrivals with progressive comparisons.
+type LiveConfig struct {
+	// CleanClean selects the ER task type.
+	CleanClean bool
+	// MaxBlockSize enables block purging (0 disables).
+	MaxBlockSize int
+	// Keyer selects the blocking-key extractor; nil is token blocking.
+	Keyer blocking.Keyer
+	// Matcher classifies emitted pairs.
+	Matcher match.Matcher
+	// K is the findK policy; nil defaults to core.NewAdaptiveK.
+	K *core.AdaptiveK
+	// TickEvery is how often the blocking stage emits an empty increment
+	// when idle, letting the strategy reconsider leftover comparisons.
+	// Zero defaults to 50ms.
+	TickEvery time.Duration
+	// Window bounds the number of profiles kept in memory: once exceeded,
+	// the oldest profiles are evicted from the block collection (their
+	// queued comparisons are silently skipped). 0 keeps everything — the
+	// right choice unless the stream is unbounded.
+	Window int
+	// Parallelism is the number of goroutines computing similarities
+	// within a batch — the matching step is the pipeline bottleneck and
+	// embarrassingly parallel, mirroring the task-based parallelization of
+	// the framework the paper extends. 0 or 1 is sequential; negative uses
+	// all CPUs.
+	Parallelism int
+	// OnMatch, if set, is called synchronously from the pipeline goroutine
+	// for every pair classified as a duplicate.
+	OnMatch func(LiveMatch)
+	// GroundTruth, if set, enables PC accounting in the final LiveResult.
+	GroundTruth map[uint64]struct{}
+}
+
+// LiveResult summarizes a live pipeline run.
+type LiveResult struct {
+	Profiles    int
+	Comparisons int
+	// Matches counts pairwise duplicate classifications; NewLinks counts
+	// those that connected two previously separate entity clusters.
+	Matches  int
+	NewLinks int
+	// Clusters are the resolved entity clusters with at least two members
+	// (profile IDs, each sorted; clusters ordered by smallest member).
+	Clusters [][]int
+	Curve    *metrics.Curve
+	Elapsed  time.Duration
+}
+
+// Live is a running real-time PIER pipeline. Feed it increments with Push;
+// the pipeline goroutine interleaves ingestion with progressive matching and
+// keeps working on the best remaining comparisons while the stream is idle.
+// Close the stream with Stop to collect the result.
+type Live struct {
+	cfg      LiveConfig
+	strategy core.Strategy
+	incoming chan []*profile.Profile
+	done     chan struct{}
+	result   *LiveResult
+
+	mu      sync.Mutex
+	matches int
+	cmps    int
+}
+
+// LiveRun starts a real-time pipeline with the given strategy. The returned
+// Live must be finished with Stop.
+func LiveRun(strategy core.Strategy, cfg LiveConfig) *Live {
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 50 * time.Millisecond
+	}
+	if cfg.K == nil {
+		cfg.K = core.NewAdaptiveK()
+	}
+	if cfg.Parallelism < 0 {
+		cfg.Parallelism = runtime.NumCPU()
+	}
+	l := &Live{
+		cfg:      cfg,
+		strategy: strategy,
+		incoming: make(chan []*profile.Profile, 64),
+		done:     make(chan struct{}),
+	}
+	go l.loop()
+	return l
+}
+
+// Push feeds one data increment to the pipeline. It blocks only when the
+// pipeline's input buffer is full — the natural backpressure of the paper's
+// data-reading stage slowing down the sources.
+func (l *Live) Push(increment []*profile.Profile) {
+	l.incoming <- increment
+}
+
+// Stats returns the current comparison and match counters.
+func (l *Live) Stats() (comparisons, matches int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cmps, l.matches
+}
+
+// Stop closes the stream, waits for the pipeline to drain all remaining
+// prioritized work, and returns the result.
+func (l *Live) Stop() *LiveResult {
+	close(l.incoming)
+	<-l.done
+	return l.result
+}
+
+// loop is the pipeline goroutine: a wall-clock analogue of Run.
+func (l *Live) loop() {
+	defer close(l.done)
+	col := blocking.NewCollectionKeyed(l.cfg.CleanClean, l.cfg.MaxBlockSize, l.cfg.Keyer)
+	clusters := cluster.New()
+	rec := metrics.NewRecorder(l.cfg.GroundTruth, 500)
+	executed := make(map[uint64]struct{})
+	start := time.Now()
+	var lastArrival time.Time
+	res := &LiveResult{}
+	ticker := time.NewTicker(l.cfg.TickEvery)
+	defer ticker.Stop()
+
+	var windowIDs []int // insertion order, for eviction
+	ingest := func(inc []*profile.Profile) {
+		for _, p := range inc {
+			col.Add(p)
+			res.Profiles++
+			if l.cfg.Window > 0 {
+				windowIDs = append(windowIDs, p.ID)
+			}
+		}
+		if l.cfg.Window > 0 {
+			for len(windowIDs) > l.cfg.Window {
+				col.Remove(windowIDs[0])
+				windowIDs = windowIDs[1:]
+			}
+		}
+		l.strategy.UpdateIndex(col, inc)
+		now := time.Now()
+		if !lastArrival.IsZero() {
+			l.cfg.K.ObserveArrival(now.Sub(lastArrival))
+		}
+		lastArrival = now
+	}
+	type job struct {
+		key    uint64
+		px, py *profile.Profile
+		sim    float64
+	}
+	processBatch := func() {
+		batch := core.EmitBatch(l.strategy, l.cfg.K.K())
+		// Phase 1 (sequential): dedup and resolve profiles.
+		jobs := make([]job, 0, len(batch))
+		for _, c := range batch {
+			key := c.Key()
+			if _, dup := executed[key]; dup {
+				continue
+			}
+			executed[key] = struct{}{}
+			px, py := col.Profile(c.X), col.Profile(c.Y)
+			if px == nil || py == nil {
+				continue
+			}
+			jobs = append(jobs, job{key: key, px: px, py: py})
+		}
+		// Phase 2: similarity computation — the expensive, pure part —
+		// optionally fanned out across workers.
+		workers := l.cfg.Parallelism
+		if workers <= 1 || len(jobs) < 4*workers {
+			t0 := time.Now()
+			for i := range jobs {
+				jobs[i].sim = l.cfg.Matcher.Similarity(jobs[i].px, jobs[i].py)
+			}
+			if len(jobs) > 0 {
+				l.cfg.K.ObserveService(time.Since(t0) / time.Duration(len(jobs)))
+			}
+		} else {
+			t0 := time.Now()
+			var wg sync.WaitGroup
+			stride := (len(jobs) + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				lo := w * stride
+				hi := lo + stride
+				if hi > len(jobs) {
+					hi = len(jobs)
+				}
+				if lo >= hi {
+					break
+				}
+				wg.Add(1)
+				go func(part []job) {
+					defer wg.Done()
+					for i := range part {
+						part[i].sim = l.cfg.Matcher.Similarity(part[i].px, part[i].py)
+					}
+				}(jobs[lo:hi])
+			}
+			wg.Wait()
+			// Service time per comparison as the matcher stage sees it:
+			// wall time divided by batch size (workers overlap).
+			l.cfg.K.ObserveService(time.Since(t0) / time.Duration(len(jobs)))
+		}
+		// Phase 3 (sequential): classification, clustering, reporting.
+		for _, j := range jobs {
+			isMatch := j.sim >= l.cfg.Matcher.Threshold
+			l.mu.Lock()
+			l.cmps++
+			if isMatch {
+				l.matches++
+			}
+			l.mu.Unlock()
+			if isMatch {
+				res.Matches++
+				if clusters.Merge(j.px.ID, j.py.ID) {
+					res.NewLinks++
+				}
+				if l.cfg.OnMatch != nil {
+					l.cfg.OnMatch(LiveMatch{X: j.px, Y: j.py, Similarity: j.sim, At: time.Now()})
+				}
+			}
+			rec.Observe(time.Since(start), j.key)
+		}
+	}
+
+	open := true
+	for open {
+		select {
+		case inc, ok := <-l.incoming:
+			if !ok {
+				open = false
+				break
+			}
+			ingest(inc)
+			processBatch()
+		case <-ticker.C:
+			if l.strategy.Pending() == 0 {
+				l.strategy.UpdateIndex(col, nil)
+			}
+			processBatch()
+		}
+	}
+	// Stream closed: drain all remaining prioritized work.
+	for {
+		processBatch()
+		if l.strategy.Pending() > 0 {
+			continue
+		}
+		l.strategy.UpdateIndex(col, nil)
+		if l.strategy.Pending() == 0 {
+			break
+		}
+	}
+	res.Comparisons = len(executed)
+	res.Clusters = clusters.Clusters(2)
+	res.Elapsed = time.Since(start)
+	res.Curve = rec.Finish(res.Elapsed)
+	l.result = res
+}
+
+// Drive pushes the dataset increments into a live pipeline at the given rate
+// (increments per second; <= 0 pushes as fast as possible), respecting ctx
+// cancellation, then stops the pipeline and returns the result. It is a
+// convenience used by the examples and pierrun.
+func Drive(ctx context.Context, l *Live, incs [][]*profile.Profile, rate float64) *LiveResult {
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(time.Second) / rate)
+	}
+	for _, inc := range incs {
+		select {
+		case <-ctx.Done():
+			return l.Stop()
+		default:
+		}
+		l.Push(inc)
+		if interval > 0 {
+			time.Sleep(interval)
+		}
+	}
+	return l.Stop()
+}

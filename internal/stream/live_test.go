@@ -1,0 +1,166 @@
+package stream
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"pier/internal/core"
+	"pier/internal/dataset"
+	"pier/internal/match"
+)
+
+func TestLiveRunFindsDuplicates(t *testing.T) {
+	d := dataset.DA(0.05, 3)
+	var mu sync.Mutex
+	var events []LiveMatch
+	l := LiveRun(core.NewIPES(core.DefaultConfig()), LiveConfig{
+		CleanClean:   true,
+		MaxBlockSize: DefaultMaxBlockSize,
+		Matcher:      match.NewMatcher(match.JS),
+		TickEvery:    time.Millisecond,
+		GroundTruth:  d.GroundTruth,
+		OnMatch: func(m LiveMatch) {
+			mu.Lock()
+			events = append(events, m)
+			mu.Unlock()
+		},
+	})
+	for _, inc := range d.Increments(10) {
+		l.Push(inc)
+	}
+	res := l.Stop()
+	if res.Profiles != d.NumProfiles() {
+		t.Errorf("Profiles = %d, want %d", res.Profiles, d.NumProfiles())
+	}
+	if res.Curve.FinalPC() < 0.8 {
+		t.Errorf("live PC = %.3f, want >= 0.8", res.Curve.FinalPC())
+	}
+	if res.Matches == 0 || len(events) != res.Matches {
+		t.Errorf("Matches = %d, OnMatch events = %d", res.Matches, len(events))
+	}
+	for _, m := range events {
+		if m.X == nil || m.Y == nil || m.Similarity < match.DefaultThreshold {
+			t.Fatalf("bad match event %+v", m)
+		}
+	}
+	if res.Comparisons == 0 || res.Elapsed <= 0 {
+		t.Error("live run recorded no work")
+	}
+}
+
+func TestLiveStatsProgress(t *testing.T) {
+	d := dataset.DA(0.05, 5)
+	l := LiveRun(core.NewIPCS(core.DefaultConfig()), LiveConfig{
+		CleanClean:   true,
+		MaxBlockSize: DefaultMaxBlockSize,
+		Matcher:      match.NewMatcher(match.JS),
+		TickEvery:    time.Millisecond,
+	})
+	for _, inc := range d.Increments(4) {
+		l.Push(inc)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if c, _ := l.Stats(); c > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no comparisons after 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	res := l.Stop()
+	if res.Comparisons == 0 {
+		t.Error("no comparisons recorded")
+	}
+}
+
+func TestDriveRespectsContext(t *testing.T) {
+	d := dataset.DA(0.05, 7)
+	l := LiveRun(core.NewIPES(core.DefaultConfig()), LiveConfig{
+		CleanClean:   true,
+		MaxBlockSize: DefaultMaxBlockSize,
+		Matcher:      match.NewMatcher(match.JS),
+		TickEvery:    time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancel immediately: Drive must stop after at most one push
+	res := Drive(ctx, l, d.Increments(10), 1000)
+	if res == nil {
+		t.Fatal("Drive returned nil")
+	}
+	if res.Profiles > d.NumProfiles()/5 {
+		t.Errorf("Drive ingested %d profiles after cancellation", res.Profiles)
+	}
+}
+
+func TestDriveFullStream(t *testing.T) {
+	d := dataset.DA(0.05, 9)
+	l := LiveRun(core.NewIPBS(core.DefaultConfig()), LiveConfig{
+		CleanClean:   true,
+		MaxBlockSize: DefaultMaxBlockSize,
+		Matcher:      match.NewMatcher(match.JS),
+		TickEvery:    time.Millisecond,
+		GroundTruth:  d.GroundTruth,
+	})
+	res := Drive(context.Background(), l, d.Increments(5), 0)
+	if res.Profiles != d.NumProfiles() {
+		t.Errorf("Profiles = %d, want %d", res.Profiles, d.NumProfiles())
+	}
+	if res.Curve.FinalPC() < 0.7 {
+		t.Errorf("PC = %.3f", res.Curve.FinalPC())
+	}
+}
+
+func TestLiveParallelMatchingEquivalent(t *testing.T) {
+	d := dataset.DA(0.05, 21)
+	run := func(parallelism int) *LiveResult {
+		l := LiveRun(core.NewIPES(core.DefaultConfig()), LiveConfig{
+			CleanClean:   true,
+			MaxBlockSize: DefaultMaxBlockSize,
+			Matcher:      match.NewMatcher(match.ED),
+			TickEvery:    time.Millisecond,
+			GroundTruth:  d.GroundTruth,
+			Parallelism:  parallelism,
+		})
+		for _, inc := range d.Increments(5) {
+			l.Push(inc)
+		}
+		return l.Stop()
+	}
+	seq := run(1)
+	par := run(-1) // all CPUs
+	if seq.Matches != par.Matches {
+		t.Errorf("parallel matcher found %d matches, sequential %d", par.Matches, seq.Matches)
+	}
+	if seq.Curve.FinalFound != par.Curve.FinalFound {
+		t.Errorf("parallel PC differs: %d vs %d", par.Curve.FinalFound, seq.Curve.FinalFound)
+	}
+	if len(seq.Clusters) != len(par.Clusters) {
+		t.Errorf("cluster counts differ: %d vs %d", len(par.Clusters), len(seq.Clusters))
+	}
+}
+
+func TestLiveWindowEviction(t *testing.T) {
+	d := dataset.DA(0.05, 33)
+	l := LiveRun(core.NewIPES(core.DefaultConfig()), LiveConfig{
+		CleanClean:   true,
+		MaxBlockSize: DefaultMaxBlockSize,
+		Matcher:      match.NewMatcher(match.JS),
+		TickEvery:    time.Millisecond,
+		Window:       40,
+	})
+	for _, inc := range d.Increments(12) {
+		l.Push(inc)
+	}
+	res := l.Stop()
+	if res.Profiles != d.NumProfiles() {
+		t.Errorf("Profiles = %d, want %d (eviction must not lose ingestion counts)", res.Profiles, d.NumProfiles())
+	}
+	// A windowed run still finds matches among co-resident profiles.
+	if res.Matches == 0 {
+		t.Error("windowed pipeline found no matches at all")
+	}
+}

@@ -1,0 +1,373 @@
+// Package pier is a schema-agnostic entity-resolution library for streaming
+// and incremental data, implementing the PIER algorithms of Gazzarri &
+// Herschel, "Progressive Entity Resolution over Incremental Data" (EDBT
+// 2023): progressive prioritization of comparisons over a global, incremental
+// comparison index, with adaptive batch sizing between stream increments.
+//
+// The core abstraction is the Pipeline: callers push increments of entity
+// profiles as they arrive; the pipeline blocks them schema-agnostically,
+// prioritizes the most promising comparisons across *all* data seen so far,
+// and reports duplicates as soon as they are found — filling idle time
+// between increments with the best leftover comparisons instead of waiting.
+//
+//	p, _ := pier.NewPipeline(pier.Options{
+//	        Algorithm:  pier.IPES,
+//	        CleanClean: true,
+//	        OnMatch:    func(m pier.Match) { fmt.Println(m.X.Key, "=", m.Y.Key) },
+//	})
+//	p.Push(increment1)
+//	p.Push(increment2)
+//	summary := p.Stop()
+//
+// For one-shot deduplication of a static dataset, use Resolve. For
+// reproducing the paper's experiments, see cmd/pierbench and the root
+// benchmark suite.
+package pier
+
+import (
+	"fmt"
+	"time"
+
+	"pier/internal/baseline"
+	"pier/internal/blocking"
+	"pier/internal/core"
+	"pier/internal/match"
+	"pier/internal/metablocking"
+	"pier/internal/profile"
+	"pier/internal/stream"
+)
+
+// Algorithm selects the comparison prioritization strategy of a pipeline.
+type Algorithm string
+
+// The available algorithms. IPES is the paper's overall best performer and
+// the recommended default; the others exist for workloads with specific
+// structure (IPBS for short relational records with highly informative small
+// blocks) and for comparison (IBase and the batch adaptations).
+const (
+	// IPCS is comparison-centric prioritization: one bounded queue of the
+	// globally best-weighted comparisons (paper Algorithm 2).
+	IPCS Algorithm = "I-PCS"
+	// IPBS is block-centric prioritization: smallest pending block first
+	// (paper Algorithm 3).
+	IPBS Algorithm = "I-PBS"
+	// IPES is entity-centric prioritization: best entity first, one
+	// comparison per entity per round (paper Algorithm 4).
+	IPES Algorithm = "I-PES"
+	// IBase is the non-progressive incremental baseline of the framework
+	// the paper extends (Gazzarri & Herschel, ICDE 2021).
+	IBase Algorithm = "I-BASE"
+	// PPSGlobal and PBSGlobal are the batch progressive algorithms of
+	// Simonini et al. (TKDE 2019) re-initialized on every increment;
+	// PPSLocal prioritizes within each increment only.
+	PPSGlobal Algorithm = "PPS-GLOBAL"
+	PPSLocal  Algorithm = "PPS-LOCAL"
+	PBSGlobal Algorithm = "PBS-GLOBAL"
+	// BatchER is plain blocking-based batch ER with no prioritization.
+	BatchER Algorithm = "BATCH"
+	// Auto defers the choice between the PIER strategies until the first
+	// increment arrives and picks by the data's characteristics (the
+	// paper's future-work heuristic): I-PBS for short homogeneous records,
+	// I-PES otherwise.
+	Auto Algorithm = "AUTO"
+	// ISN is an extension beyond the paper: incremental sorted-neighborhood
+	// prioritization over a dynamic token index, catching near-miss keys
+	// that token blocking cannot pair (e.g. leading-character typos).
+	ISN Algorithm = "I-SN"
+)
+
+// MatchFunc selects the similarity function of the matching step.
+type MatchFunc int
+
+const (
+	// Jaccard similarity over token sets: cheap, the pipeline's default.
+	Jaccard MatchFunc = iota
+	// EditDistance is normalized Levenshtein similarity over the joined
+	// attribute values: expensive, for high-precision matching of short
+	// records.
+	EditDistance
+	// JaroWinkler similarity over the joined values: mid-cost, tuned for
+	// person and organization names.
+	JaroWinkler
+	// CosineSim is set cosine similarity over token sets.
+	CosineSim
+	// OverlapSim is the overlap coefficient over token sets — forgiving
+	// when one profile is much shorter than the other.
+	OverlapSim
+	// MongeElkanSim matches token lists through a Jaro-Winkler inner
+	// measure: the most robust (and most expensive) option for short,
+	// noisy records.
+	MongeElkanSim
+)
+
+// WeightScheme selects the meta-blocking weighting scheme used to rank
+// comparisons.
+type WeightScheme int
+
+const (
+	// CBS (Common Blocks Scheme) is the paper's default: the number of
+	// blocks two profiles share.
+	CBS WeightScheme = iota
+	// JSWeight is the Jaccard coefficient of the profiles' block sets.
+	JSWeight
+	// ECBS is CBS with inverse block-frequency correction.
+	ECBS
+	// ARCS sums reciprocal block comparison counts.
+	ARCS
+)
+
+// Blocking selects the blocking-key extractor of the pipeline.
+type Blocking int
+
+const (
+	// TokenBlocking (default) blocks profiles by their value tokens.
+	TokenBlocking Blocking = iota
+	// QGramBlocking blocks by 3-grams of the tokens: robust against
+	// character typos at the cost of a larger block collection.
+	QGramBlocking
+	// SuffixBlocking blocks by token suffixes (>= 4 runes): robust
+	// against prefix corruptions.
+	SuffixBlocking
+)
+
+// Attribute is one name/value pair of a profile. Attribute names carry no
+// semantics (the pipeline is schema-agnostic); they are preserved for the
+// caller's benefit.
+type Attribute struct {
+	Name  string
+	Value string
+}
+
+// Profile is an entity profile as supplied by the caller. Key is an optional
+// caller-side identifier reported back in matches; SourceB tags profiles of
+// the second source in Clean-Clean (two duplicate-free sources) tasks and is
+// ignored for Dirty (single-source) tasks.
+type Profile struct {
+	Key        string
+	SourceB    bool
+	Attributes []Attribute
+}
+
+// Attr is a convenience constructor for a profile from alternating
+// name, value strings.
+func Attr(nameValue ...string) []Attribute {
+	if len(nameValue)%2 != 0 {
+		panic("pier.Attr: odd number of name/value arguments")
+	}
+	out := make([]Attribute, 0, len(nameValue)/2)
+	for i := 0; i < len(nameValue); i += 2 {
+		out = append(out, Attribute{Name: nameValue[i], Value: nameValue[i+1]})
+	}
+	return out
+}
+
+// Match is one detected duplicate pair.
+type Match struct {
+	X, Y       Profile
+	Similarity float64
+}
+
+// Summary reports the totals of a finished pipeline.
+type Summary struct {
+	Profiles    int
+	Comparisons int
+	// Matches counts pairwise duplicate classifications; NewLinks counts
+	// those that connected two previously separate entity clusters.
+	Matches  int
+	NewLinks int
+	Elapsed  time.Duration
+}
+
+// Options configures a Pipeline or a Resolve call. The zero value is valid:
+// Dirty ER with I-PES, Jaccard matching, and the paper's default tuning.
+type Options struct {
+	// Algorithm selects the prioritization strategy (default IPES).
+	Algorithm Algorithm
+	// CleanClean selects Clean-Clean ER: only pairs spanning the two
+	// sources (SourceB false/true) are ever compared.
+	CleanClean bool
+	// MatchFunc selects the similarity function (default Jaccard).
+	MatchFunc MatchFunc
+	// MatchThreshold is the duplicate-classification threshold in (0, 1];
+	// 0 means the default (0.5).
+	MatchThreshold float64
+	// Scheme selects the comparison weighting scheme (default CBS).
+	Scheme WeightScheme
+	// MaxBlockSize purges blocks larger than this many profiles; 0 means
+	// the default (80), negative disables purging.
+	MaxBlockSize int
+	// Beta is the block-ghosting parameter in (0, 1]; 0 means the default
+	// (0.2), negative disables ghosting.
+	Beta float64
+	// IndexCapacity bounds the comparison index; 0 means the default
+	// (100000), negative means unbounded.
+	IndexCapacity int
+	// OnMatch, if set, is invoked synchronously for every detected
+	// duplicate, as soon as it is found.
+	OnMatch func(Match)
+	// TickEvery is how often idle pipelines reconsider leftover
+	// comparisons; 0 means the default (50ms).
+	TickEvery time.Duration
+	// Parallelism is the number of goroutines the matching step uses
+	// within a batch; 0 or 1 is sequential, negative uses all CPUs.
+	Parallelism int
+	// Blocking selects the blocking-key extractor (default TokenBlocking).
+	Blocking Blocking
+	// Window bounds the number of profiles held in memory for unbounded
+	// streams; the oldest are evicted. 0 keeps everything.
+	Window int
+	// Keyer, when set, overrides Blocking with a custom blocking-key
+	// extractor — e.g. one learned with LearnAttributeClustering.
+	Keyer KeyerFunc
+}
+
+// KeyerFunc derives the blocking keys of a profile. Profiles that share at
+// least one key become comparison candidates.
+type KeyerFunc func(Profile) []string
+
+// keyer resolves the blocking-key extractor.
+func (o Options) keyer() blocking.Keyer {
+	if o.Keyer != nil {
+		custom := o.Keyer
+		return func(p *profile.Profile) []string {
+			return custom(toPublicProfile(p))
+		}
+	}
+	switch o.Blocking {
+	case QGramBlocking:
+		return profile.QGramKeys
+	case SuffixBlocking:
+		return profile.SuffixKeys
+	default:
+		return nil
+	}
+}
+
+// toPublicProfile converts an internal profile back to the API type (the
+// caller's Key is stored as the internal EntityKey).
+func toPublicProfile(p *profile.Profile) Profile {
+	out := Profile{Key: p.EntityKey, SourceB: p.Source == profile.SourceB}
+	out.Attributes = make([]Attribute, len(p.Attributes))
+	for i, a := range p.Attributes {
+		out.Attributes[i] = Attribute{Name: a.Name, Value: a.Value}
+	}
+	return out
+}
+
+// LearnAttributeClustering learns an attribute-clustering blocking keyer
+// from sample profiles (see internal/blocking.NewAttrClusterer): attribute
+// names with similar value vocabularies are clustered, and blocking keys are
+// cluster-prefixed tokens, so profiles collide only on tokens of comparable
+// attributes. threshold <= 0 uses the default (0.15). Train on a
+// representative sample — e.g. the first increments — and pass the result as
+// Options.Keyer.
+func LearnAttributeClustering(sample []Profile, threshold float64) KeyerFunc {
+	internal := make([]*profile.Profile, len(sample))
+	for i, pr := range sample {
+		attrs := make([]profile.Attribute, len(pr.Attributes))
+		for j, a := range pr.Attributes {
+			attrs[j] = profile.Attribute{Name: a.Name, Value: a.Value}
+		}
+		src := profile.SourceA
+		if pr.SourceB {
+			src = profile.SourceB
+		}
+		internal[i] = &profile.Profile{ID: i, Source: src, EntityKey: pr.Key, Attributes: attrs}
+	}
+	clusterer := blocking.NewAttrClusterer(internal, threshold)
+	keyer := clusterer.Keyer()
+	return func(pr Profile) []string {
+		attrs := make([]profile.Attribute, len(pr.Attributes))
+		for j, a := range pr.Attributes {
+			attrs[j] = profile.Attribute{Name: a.Name, Value: a.Value}
+		}
+		return keyer(&profile.Profile{Attributes: attrs})
+	}
+}
+
+// matcher builds the internal matcher from the options.
+func (o Options) matcher() match.Matcher {
+	kind := match.JS
+	switch o.MatchFunc {
+	case EditDistance:
+		kind = match.ED
+	case JaroWinkler:
+		kind = match.JW
+	case CosineSim:
+		kind = match.COS
+	case OverlapSim:
+		kind = match.OVL
+	case MongeElkanSim:
+		kind = match.ME
+	}
+	m := match.NewMatcher(kind)
+	if o.MatchThreshold > 0 {
+		m.Threshold = o.MatchThreshold
+	}
+	return m
+}
+
+// coreConfig builds the strategy configuration from the options.
+func (o Options) coreConfig() core.Config {
+	cfg := core.DefaultConfig()
+	switch o.Scheme {
+	case JSWeight:
+		cfg.Scheme = metablocking.JSScheme
+	case ECBS:
+		cfg.Scheme = metablocking.ECBS
+	case ARCS:
+		cfg.Scheme = metablocking.ARCS
+	}
+	if o.Beta > 0 {
+		cfg.Beta = o.Beta
+	} else if o.Beta < 0 {
+		cfg.Beta = 0
+	}
+	if o.IndexCapacity > 0 {
+		cfg.IndexCapacity = o.IndexCapacity
+	} else if o.IndexCapacity < 0 {
+		cfg.IndexCapacity = 0
+	}
+	return cfg
+}
+
+// maxBlockSize resolves the block-purging threshold.
+func (o Options) maxBlockSize() int {
+	switch {
+	case o.MaxBlockSize > 0:
+		return o.MaxBlockSize
+	case o.MaxBlockSize < 0:
+		return 0
+	default:
+		return stream.DefaultMaxBlockSize
+	}
+}
+
+// strategy instantiates the selected algorithm.
+func (o Options) strategy() (core.Strategy, error) {
+	cfg := o.coreConfig()
+	switch o.Algorithm {
+	case "", IPES:
+		return core.NewIPES(cfg), nil
+	case Auto:
+		return core.NewAuto(cfg), nil
+	case ISN:
+		return core.NewISN(cfg, 0), nil
+	case IPCS:
+		return core.NewIPCS(cfg), nil
+	case IPBS:
+		return core.NewIPBS(cfg), nil
+	case IBase:
+		return baseline.NewIBase(cfg), nil
+	case PPSGlobal:
+		return baseline.NewPPS(cfg, baseline.ScopeGlobal, ""), nil
+	case PPSLocal:
+		return baseline.NewPPS(cfg, baseline.ScopeLocal, ""), nil
+	case PBSGlobal:
+		return baseline.NewPBS(cfg, baseline.ScopeGlobal, ""), nil
+	case BatchER:
+		return baseline.NewBatch(cfg), nil
+	default:
+		return nil, fmt.Errorf("pier: unknown algorithm %q", o.Algorithm)
+	}
+}

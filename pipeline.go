@@ -1,0 +1,160 @@
+package pier
+
+import (
+	"sync"
+
+	"pier/internal/profile"
+	"pier/internal/stream"
+)
+
+// Pipeline is a running incremental, progressive ER pipeline over a live
+// stream. Create it with NewPipeline, feed it with Push from any goroutine
+// (calls are serialized), and finish it with Stop. Matches are reported via
+// Options.OnMatch as soon as they are classified — including between
+// increments, when the pipeline works off the globally best leftover
+// comparisons.
+type Pipeline struct {
+	mu       sync.Mutex
+	live     *stream.Live
+	profiles []Profile // by internal ID, for reporting matches
+	nextID   int
+	stopped  bool
+	summary  Summary
+	clusters [][]Profile
+}
+
+// NewPipeline starts a pipeline with the given options. It returns an error
+// only for an unknown Options.Algorithm.
+func NewPipeline(opt Options) (*Pipeline, error) {
+	strategy, err := opt.strategy()
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{}
+	cfg := stream.LiveConfig{
+		CleanClean:   opt.CleanClean,
+		MaxBlockSize: opt.maxBlockSize(),
+		Matcher:      opt.matcher(),
+		TickEvery:    opt.TickEvery,
+		Parallelism:  opt.Parallelism,
+		Keyer:        opt.keyer(),
+		Window:       opt.Window,
+	}
+	if opt.OnMatch != nil {
+		onMatch := opt.OnMatch
+		cfg.OnMatch = func(m stream.LiveMatch) {
+			p.mu.Lock()
+			x, y := p.profiles[m.X.ID], p.profiles[m.Y.ID]
+			p.mu.Unlock()
+			onMatch(Match{X: x, Y: y, Similarity: m.Similarity})
+		}
+	}
+	p.live = stream.LiveRun(strategy, cfg)
+	return p, nil
+}
+
+// Push feeds one increment of profiles to the pipeline. It must not be
+// called after Stop.
+func (p *Pipeline) Push(increment []Profile) {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		panic("pier: Push after Stop")
+	}
+	internal := make([]*profile.Profile, len(increment))
+	for i, pr := range increment {
+		internal[i] = p.convert(pr)
+	}
+	p.mu.Unlock()
+	p.live.Push(internal)
+}
+
+// convert registers a caller profile under a fresh internal ID. The caller
+// holds p.mu.
+func (p *Pipeline) convert(pr Profile) *profile.Profile {
+	id := p.nextID
+	p.nextID++
+	p.profiles = append(p.profiles, pr)
+	src := profile.SourceA
+	if pr.SourceB {
+		src = profile.SourceB
+	}
+	attrs := make([]profile.Attribute, len(pr.Attributes))
+	for i, a := range pr.Attributes {
+		attrs[i] = profile.Attribute{Name: a.Name, Value: a.Value}
+	}
+	return &profile.Profile{ID: id, Source: src, EntityKey: pr.Key, Attributes: attrs}
+}
+
+// Stats returns the number of comparisons executed and duplicates found so
+// far; it may be called while the pipeline is running.
+func (p *Pipeline) Stats() (comparisons, matches int) {
+	return p.live.Stats()
+}
+
+// Stop closes the input, drains all remaining prioritized comparisons, and
+// returns the run's summary. Stop is idempotent.
+func (p *Pipeline) Stop() Summary {
+	p.mu.Lock()
+	if p.stopped {
+		s := p.summary
+		p.mu.Unlock()
+		return s
+	}
+	p.stopped = true
+	p.mu.Unlock()
+
+	res := p.live.Stop()
+	s := Summary{
+		Profiles:    res.Profiles,
+		Comparisons: res.Comparisons,
+		Matches:     res.Matches,
+		NewLinks:    res.NewLinks,
+		Elapsed:     res.Elapsed,
+	}
+	p.mu.Lock()
+	p.summary = s
+	p.clusters = make([][]Profile, len(res.Clusters))
+	for i, ids := range res.Clusters {
+		members := make([]Profile, len(ids))
+		for j, id := range ids {
+			members[j] = p.profiles[id]
+		}
+		p.clusters[i] = members
+	}
+	p.mu.Unlock()
+	return s
+}
+
+// Clusters returns the resolved entity clusters (groups of profiles believed
+// to describe the same real-world entity, each with at least two members).
+// It must be called after Stop; before Stop it returns nil.
+func (p *Pipeline) Clusters() [][]Profile {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.clusters
+}
+
+// Resolve runs one-shot ER over a static dataset: every profile is pushed as
+// a single increment, the pipeline drains, and all detected duplicates are
+// returned. It is the batch convenience wrapper over Pipeline.
+func Resolve(profiles []Profile, opt Options) ([]Match, Summary, error) {
+	var mu sync.Mutex
+	var matches []Match
+	userCallback := opt.OnMatch
+	opt.OnMatch = func(m Match) {
+		mu.Lock()
+		matches = append(matches, m)
+		mu.Unlock()
+		if userCallback != nil {
+			userCallback(m)
+		}
+	}
+	p, err := NewPipeline(opt)
+	if err != nil {
+		return nil, Summary{}, err
+	}
+	p.Push(profiles)
+	summary := p.Stop()
+	return matches, summary, nil
+}
