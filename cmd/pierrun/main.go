@@ -3,11 +3,22 @@
 // summary (with pair completeness when a ground-truth file is supplied).
 //
 //	pierrun -in movies.csv -gt movies_gt.csv -algorithm I-PES -rate 32 -increments 100
+//
+// With -metrics ADDR the run also serves live pipeline metrics over HTTP:
+// Prometheus text exposition at /metrics and the expvar JSON dump at
+// /debug/vars, covering comparisons, matches, the adaptive K trajectory,
+// queue depth, ingestion latency, and window evictions.
+//
+//	pierrun -in movies.csv -metrics :9090 &
+//	curl localhost:9090/metrics
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -15,8 +26,26 @@ import (
 	"pier/internal/core"
 	"pier/internal/dataset"
 	"pier/internal/match"
+	"pier/internal/obsv"
 	"pier/internal/stream"
 )
+
+// serveMetrics starts an HTTP server on addr exposing reg at /metrics
+// (Prometheus text) and the expvar namespace at /debug/vars. It returns the
+// bound listener address (useful with a ":0" addr) and a shutdown function.
+func serveMetrics(addr string, reg *obsv.Registry) (net.Addr, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	reg.PublishExpvar("pier")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr(), func() { srv.Close() }, nil
+}
 
 func main() {
 	in := flag.String("in", "", "profiles CSV (as written by piergen)")
@@ -26,6 +55,8 @@ func main() {
 	matcher := flag.String("matcher", "JS", "match function: JS or ED")
 	rate := flag.Float64("rate", 16, "increments per second (0 = as fast as possible)")
 	nIncs := flag.Int("increments", 100, "number of increments to split the stream into")
+	window := flag.Int("window", 0, "profile window for unbounded streams (0 keeps everything)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/vars on this address (e.g. :9090; empty disables)")
 	verbose := flag.Bool("v", false, "print every match as it is found")
 	flag.Parse()
 
@@ -80,6 +111,7 @@ func main() {
 		MaxBlockSize: stream.DefaultMaxBlockSize,
 		Matcher:      match.NewMatcher(kind),
 		GroundTruth:  d.GroundTruth,
+		Window:       *window,
 	}
 	found := 0
 	liveCfg.OnMatch = func(m stream.LiveMatch) {
@@ -90,6 +122,15 @@ func main() {
 		}
 	}
 	live := stream.LiveRun(strategy, liveCfg)
+
+	if *metricsAddr != "" {
+		addr, shutdown, err := serveMetrics(*metricsAddr, live.Registry())
+		if err != nil {
+			fatal(err)
+		}
+		defer shutdown()
+		fmt.Printf("serving metrics on http://%s/metrics (expvar at /debug/vars)\n", addr)
+	}
 
 	incs := d.Increments(*nIncs)
 	var interval time.Duration
@@ -102,15 +143,20 @@ func main() {
 			time.Sleep(interval)
 		}
 		if (i+1)%25 == 0 {
-			cmps, matches := live.Stats()
-			fmt.Printf("%8s  %d/%d increments, %d comparisons, %d matches\n",
-				time.Since(start).Round(time.Millisecond), i+1, len(incs), cmps, matches)
+			s := live.Snapshot()
+			fmt.Printf("%8s  %d/%d increments, %d comparisons, %d matches, K=%d, pending=%d\n",
+				time.Since(start).Round(time.Millisecond), i+1, len(incs), s.Comparisons, s.Matches, s.K, s.Pending)
 		}
 	}
 	res := live.Stop()
 	fmt.Printf("\n%s over %s\n", *alg, d)
 	fmt.Printf("profiles %d, comparisons %d, matches %d, elapsed %v\n",
 		res.Profiles, res.Comparisons, res.Matches, res.Elapsed.Round(time.Millisecond))
+	snap := live.Snapshot()
+	if snap.WindowEvictions > 0 {
+		fmt.Printf("window evictions %d, skipped evicted comparisons %d\n",
+			snap.WindowEvictions, snap.SkippedEvicted)
+	}
 	if len(d.GroundTruth) > 0 {
 		fmt.Printf("pair completeness: %.3f\n", res.Curve.FinalPC())
 	}

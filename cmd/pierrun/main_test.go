@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pier/internal/core"
+	"pier/internal/dataset"
+	"pier/internal/match"
+	"pier/internal/stream"
+)
+
+// scrapeProm fetches url and parses the Prometheus text exposition into
+// name -> value (labels folded into the key), failing the test on any
+// unparseable line — this is the format check the endpoint must satisfy.
+func scrapeProm(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]float64)
+	for _, line := range strings.Split(string(body), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// Comment lines must be well-formed HELP/TYPE directives.
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				t.Fatalf("malformed exposition comment %q", line)
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		out[fields[0]] = v
+	}
+	return out
+}
+
+// TestMetricsEndpointDuringLiveRun is the acceptance test for the
+// observability layer: a live windowed run serves /metrics over HTTP, the
+// exposition parses, shows the required series, and the counters move as the
+// stream progresses.
+func TestMetricsEndpointDuringLiveRun(t *testing.T) {
+	d := dataset.DA(0.05, 11)
+	live := stream.LiveRun(core.NewIPES(core.DefaultConfig()), stream.LiveConfig{
+		CleanClean:   true,
+		MaxBlockSize: stream.DefaultMaxBlockSize,
+		Matcher:      match.NewMatcher(match.JS),
+		TickEvery:    time.Millisecond,
+		Window:       40,
+	})
+	addr, shutdown, err := serveMetrics("127.0.0.1:0", live.Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	base := fmt.Sprintf("http://%s", addr)
+
+	incs := d.Increments(12)
+	for _, inc := range incs[:4] {
+		live.Push(inc)
+	}
+	// Wait until the pipeline has executed work, then take the first scrape.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if c, _ := live.Stats(); c > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no comparisons after 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	first := scrapeProm(t, base+"/metrics")
+	for _, name := range []string{
+		"pier_comparisons_total",
+		"pier_matches_total",
+		"pier_k",
+		"pier_pending",
+		"pier_profiles_ingested_total",
+		"pier_window_evictions_total",
+		"pier_dedup_entries",
+	} {
+		if _, ok := first[name]; !ok {
+			t.Errorf("/metrics missing required series %s", name)
+		}
+	}
+	if first["pier_profiles_ingested_total"] == 0 {
+		t.Error("profiles counter did not move after ingestion")
+	}
+	if first["pier_k"] <= 0 {
+		t.Errorf("pier_k = %g, want > 0", first["pier_k"])
+	}
+
+	for _, inc := range incs[4:] {
+		live.Push(inc)
+	}
+	res := live.Stop()
+	second := scrapeProm(t, base+"/metrics")
+	if second["pier_comparisons_total"] <= first["pier_comparisons_total"] {
+		t.Errorf("comparisons counter did not move: %g -> %g",
+			first["pier_comparisons_total"], second["pier_comparisons_total"])
+	}
+	if second["pier_profiles_ingested_total"] != float64(d.NumProfiles()) {
+		t.Errorf("profiles counter = %g, want %d", second["pier_profiles_ingested_total"], d.NumProfiles())
+	}
+	if second["pier_window_evictions_total"] == 0 {
+		t.Error("windowed run recorded no evictions")
+	}
+	if second["pier_comparisons_total"] != float64(res.Comparisons) {
+		t.Errorf("endpoint comparisons %g != summary %d", second["pier_comparisons_total"], res.Comparisons)
+	}
+
+	// The expvar dump must be valid JSON and carry the same counters.
+	resp, err := http.Get(base + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var vars struct {
+		Pier map[string]interface{} `json:"pier"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatalf("/debug/vars is not valid JSON: %v", err)
+	}
+	if got := vars.Pier["pier_comparisons_total"]; got != float64(res.Comparisons) {
+		t.Errorf("expvar comparisons = %v, want %d", got, res.Comparisons)
+	}
+}

@@ -67,6 +67,20 @@ func (a *AdaptiveK) ema(cur, sample float64) float64 {
 	return (1-a.alpha)*cur + a.alpha*sample
 }
 
+// Current returns the present value of K without advancing the adaptation —
+// a read-only probe for observability. K() both adapts and returns; calling
+// it to inspect the trajectory would perturb the trajectory.
+func (a *AdaptiveK) Current() int {
+	k := a.k
+	if k < a.kMin {
+		k = a.kMin
+	}
+	if k > a.kMax {
+		k = a.kMax
+	}
+	return int(k)
+}
+
 // K returns the current batch size: the smoothed number of comparisons the
 // matcher can serve within one interarrival window, clamped to [KMin, KMax].
 func (a *AdaptiveK) K() int {

@@ -1,0 +1,82 @@
+package obsv
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// WriteProm writes every instrument in the Prometheus text exposition format
+// (version 0.0.4): HELP and TYPE comment lines followed by the samples.
+// Histograms expose cumulative _bucket series with an le label, plus _sum and
+// _count, exactly as a native Prometheus client would.
+func (r *Registry) WriteProm(w io.Writer) error {
+	var err error
+	p := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	r.each(func(name string, inst interface{}) {
+		switch m := inst.(type) {
+		case *Counter:
+			if m.help != "" {
+				p("# HELP %s %s\n", name, m.help)
+			}
+			p("# TYPE %s counter\n", name)
+			p("%s %d\n", name, m.Value())
+		case *Gauge:
+			if m.help != "" {
+				p("# HELP %s %s\n", name, m.help)
+			}
+			p("# TYPE %s gauge\n", name)
+			p("%s %d\n", name, m.Value())
+		case *Histogram:
+			if m.help != "" {
+				p("# HELP %s %s\n", name, m.help)
+			}
+			p("# TYPE %s histogram\n", name)
+			var cum uint64
+			for i, bound := range m.bounds {
+				cum += m.buckets[i].Load()
+				p("%s_bucket{le=%q} %d\n", name, formatBound(bound), cum)
+			}
+			cum += m.buckets[len(m.bounds)].Load()
+			p("%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+			p("%s_sum %g\n", name, m.Sum())
+			p("%s_count %d\n", name, m.Count())
+		}
+	})
+	return err
+}
+
+// formatBound renders a bucket bound the way Prometheus clients do: shortest
+// decimal representation that round-trips.
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteProm(w)
+	})
+}
+
+var expvarPublished sync.Map // name -> struct{}, expvar.Publish panics on dup
+
+// PublishExpvar publishes the registry's Snapshot under the given name in the
+// process-wide expvar namespace (served at /debug/vars by expvar's handler).
+// Publishing the same name twice is a no-op rather than a panic, so tests and
+// restarted pipelines can share a process.
+func (r *Registry) PublishExpvar(name string) {
+	if _, loaded := expvarPublished.LoadOrStore(name, struct{}{}); loaded {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() interface{} { return r.Snapshot() }))
+}

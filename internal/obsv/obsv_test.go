@@ -1,0 +1,197 @@
+package obsv
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cmp_total", "comparisons")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	g := r.Gauge("depth", "queue depth")
+	g.Set(10)
+	g.Add(-4)
+	if g.Value() != 6 {
+		t.Errorf("gauge = %d, want 6", g.Value())
+	}
+	// Re-registration returns the same instrument.
+	if r.Counter("cmp_total", "") != c || r.Gauge("depth", "") != g {
+		t.Error("re-registration did not return the existing instrument")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on kind mismatch")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x", "")
+	r.Gauge("x", "")
+}
+
+func TestHistogramBucketsAndStats(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d, want 4", h.Count())
+	}
+	if math.Abs(h.Sum()-5.555) > 1e-9 {
+		t.Errorf("sum = %g, want 5.555", h.Sum())
+	}
+	if math.Abs(h.Mean()-5.555/4) > 1e-9 {
+		t.Errorf("mean = %g", h.Mean())
+	}
+	// Boundary values land in the bucket whose bound equals them (le is <=).
+	h.Observe(0.01)
+	if got := h.buckets[0].Load(); got != 2 {
+		t.Errorf("first bucket = %d, want 2 (0.005 and 0.01)", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+}
+
+// parseProm parses Prometheus text exposition into name -> value, skipping
+// comments. Histogram series keep their suffixed names; bucket labels are
+// folded into the key.
+func parseProm(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		out[fields[0]] = v
+	}
+	return out
+}
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pier_comparisons_total", "executed comparisons").Add(42)
+	r.Gauge("pier_k", "current K").Set(512)
+	h := r.Histogram("pier_batch_size", "emitted batch size", []float64{1, 10})
+	h.Observe(5)
+	h.Observe(50)
+
+	var sb strings.Builder
+	if err := r.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE pier_comparisons_total counter",
+		"# TYPE pier_k gauge",
+		"# TYPE pier_batch_size histogram",
+		`pier_batch_size_bucket{le="+Inf"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	vals := parseProm(t, text)
+	if vals["pier_comparisons_total"] != 42 {
+		t.Errorf("counter sample = %g", vals["pier_comparisons_total"])
+	}
+	if vals["pier_k"] != 512 {
+		t.Errorf("gauge sample = %g", vals["pier_k"])
+	}
+	if vals[`pier_batch_size_bucket{le="10"}`] != 1 {
+		t.Errorf("le=10 bucket = %g, want 1 (cumulative)", vals[`pier_batch_size_bucket{le="10"}`])
+	}
+	if vals["pier_batch_size_count"] != 2 || vals["pier_batch_size_sum"] != 55 {
+		t.Errorf("histogram count/sum = %g/%g", vals["pier_batch_size_count"], vals["pier_batch_size_sum"])
+	}
+}
+
+func TestHandlerServesMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if vals := parseProm(t, rec.Body.String()); vals["hits_total"] != 1 {
+		t.Errorf("served body = %q", rec.Body.String())
+	}
+}
+
+func TestSnapshotIsJSONEncodable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(3)
+	r.Gauge("b", "").Set(-7)
+	r.Histogram("c", "", []float64{1}).Observe(2)
+	snap := r.Snapshot()
+	raw, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatalf("snapshot not JSON-encodable: %v", err)
+	}
+	var back map[string]interface{}
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["a_total"].(float64) != 3 || back["b"].(float64) != -7 {
+		t.Errorf("snapshot round-trip = %v", back)
+	}
+	hist := back["c"].(map[string]interface{})
+	if hist["count"].(float64) != 1 || hist["sum"].(float64) != 2 {
+		t.Errorf("histogram snapshot = %v", hist)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("n_total", "")
+			h := r.Histogram("h", "", []float64{10, 100})
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j % 200))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n_total", "").Value(); got != 8000 {
+		t.Errorf("concurrent counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", "", nil).Count(); got != 8000 {
+		t.Errorf("concurrent histogram count = %d, want 8000", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"pier/internal/core"
 	"pier/internal/match"
 	"pier/internal/metrics"
+	"pier/internal/obsv"
 	"pier/internal/profile"
 )
 
@@ -57,6 +58,10 @@ type LiveConfig struct {
 	OnMatch func(LiveMatch)
 	// GroundTruth, if set, enables PC accounting in the final LiveResult.
 	GroundTruth map[uint64]struct{}
+	// Metrics, if set, is the registry the pipeline registers its
+	// instruments in — share one registry to expose several pipelines on
+	// one endpoint. Nil creates a private registry (see Live.Registry).
+	Metrics *obsv.Registry
 }
 
 // LiveResult summarizes a live pipeline run.
@@ -74,6 +79,86 @@ type LiveResult struct {
 	Elapsed  time.Duration
 }
 
+// LiveSnapshot is a point-in-time, thread-safe view of a running pipeline's
+// internals — the same numbers the metrics endpoint exposes, for embedders
+// that want them without HTTP. All fields are cumulative counters except K,
+// Pending, and DedupEntries, which are instantaneous gauges.
+type LiveSnapshot struct {
+	// Profiles is the number of profiles ingested so far.
+	Profiles int
+	// Increments is the number of non-tick increments ingested.
+	Increments int
+	// Comparisons and Matches are the executed-comparison and duplicate
+	// counts — always equal to Stats() and, after Stop, to the LiveResult.
+	Comparisons int
+	Matches     int
+	// NewLinks counts matches that connected two previously separate
+	// entity clusters.
+	NewLinks int
+	// SkippedEvicted counts emitted comparisons that were dropped because
+	// at least one profile had been evicted from the window.
+	SkippedEvicted int
+	// WindowEvictions counts profiles evicted under LiveConfig.Window.
+	WindowEvictions int
+	// K is the live adaptive batch size (Algorithm 1's findK).
+	K int
+	// Pending is the strategy's queued-comparison depth after the most
+	// recent batch.
+	Pending int
+	// DedupEntries is the current size of the executed-comparison dedup
+	// map (bounded under Window by eviction-driven pruning).
+	DedupEntries int
+}
+
+// liveMetrics bundles the pipeline's instruments. All updates happen on the
+// pipeline goroutine; reads (Stats, Snapshot, exposition) may happen from any
+// goroutine — the instruments are atomic.
+type liveMetrics struct {
+	profiles   *obsv.Counter
+	increments *obsv.Counter
+	cmps       *obsv.Counter
+	matches    *obsv.Counter
+	newLinks   *obsv.Counter
+	skipped    *obsv.Counter
+	evictions  *obsv.Counter
+
+	k       *obsv.Gauge
+	pending *obsv.Gauge
+	dedup   *obsv.Gauge
+
+	incSize   *obsv.Histogram
+	ingestSec *obsv.Histogram
+	batchSize *obsv.Histogram
+	seqSec    *obsv.Histogram
+	parSec    *obsv.Histogram
+}
+
+// newLiveMetrics registers the pipeline's instruments in reg. Registration is
+// idempotent, so pipelines sharing a registry share (and jointly advance) the
+// same counters.
+func newLiveMetrics(reg *obsv.Registry) *liveMetrics {
+	sizeBuckets := obsv.ExpBuckets(1, 4, 10)       // 1 .. 262144
+	latBuckets := obsv.ExpBuckets(1e-6, 10, 8)     // 1µs .. 10s
+	serviceBuckets := obsv.ExpBuckets(1e-6, 10, 8) // per-batch matcher time
+	return &liveMetrics{
+		profiles:   reg.Counter("pier_profiles_ingested_total", "profiles ingested into the live pipeline"),
+		increments: reg.Counter("pier_increments_total", "data increments pushed into the live pipeline"),
+		cmps:       reg.Counter("pier_comparisons_total", "comparisons executed by the matcher"),
+		matches:    reg.Counter("pier_matches_total", "pairs classified as duplicates"),
+		newLinks:   reg.Counter("pier_new_links_total", "matches that connected two previously separate clusters"),
+		skipped:    reg.Counter("pier_skipped_evicted_total", "emitted comparisons skipped because a profile was evicted"),
+		evictions:  reg.Counter("pier_window_evictions_total", "profiles evicted from the sliding window"),
+		k:          reg.Gauge("pier_k", "live adaptive batch size K (Algorithm 1 findK)"),
+		pending:    reg.Gauge("pier_pending", "strategy queued-comparison depth after the last batch"),
+		dedup:      reg.Gauge("pier_dedup_entries", "size of the executed-comparison dedup map"),
+		incSize:    reg.Histogram("pier_increment_size", "profiles per pushed increment", sizeBuckets),
+		ingestSec:  reg.Histogram("pier_ingest_seconds", "wall time to block and index one increment", latBuckets),
+		batchSize:  reg.Histogram("pier_batch_size", "comparisons per emitted batch (after dedup and eviction skips)", sizeBuckets),
+		seqSec:     reg.Histogram("pier_match_seq_seconds", "per-batch matcher service time, sequential path", serviceBuckets),
+		parSec:     reg.Histogram("pier_match_par_seconds", "per-batch matcher service time, parallel path", serviceBuckets),
+	}
+}
+
 // Live is a running real-time PIER pipeline. Feed it increments with Push;
 // the pipeline goroutine interleaves ingestion with progressive matching and
 // keeps working on the best remaining comparisons while the stream is idle.
@@ -84,10 +169,11 @@ type Live struct {
 	incoming chan []*profile.Profile
 	done     chan struct{}
 	result   *LiveResult
+	reg      *obsv.Registry
+	m        *liveMetrics
 
-	mu      sync.Mutex
-	matches int
-	cmps    int
+	mu     sync.Mutex // guards closed and serializes Push against Stop
+	closed bool
 }
 
 // LiveRun starts a real-time pipeline with the given strategy. The returned
@@ -102,34 +188,77 @@ func LiveRun(strategy core.Strategy, cfg LiveConfig) *Live {
 	if cfg.Parallelism < 0 {
 		cfg.Parallelism = runtime.NumCPU()
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obsv.NewRegistry()
+	}
 	l := &Live{
 		cfg:      cfg,
 		strategy: strategy,
 		incoming: make(chan []*profile.Profile, 64),
 		done:     make(chan struct{}),
+		reg:      cfg.Metrics,
+		m:        newLiveMetrics(cfg.Metrics),
 	}
+	l.m.k.Set(int64(cfg.K.Current()))
 	go l.loop()
 	return l
 }
 
 // Push feeds one data increment to the pipeline. It blocks only when the
 // pipeline's input buffer is full — the natural backpressure of the paper's
-// data-reading stage slowing down the sources.
+// data-reading stage slowing down the sources. Push must not be called after
+// Stop; doing so panics with a descriptive message instead of the raw
+// "send on closed channel" runtime error.
 func (l *Live) Push(increment []*profile.Profile) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		panic("stream: Live.Push called after Stop")
+	}
+	// The send happens under l.mu so a concurrent Stop cannot close the
+	// channel mid-send; the pipeline goroutine keeps draining, so a full
+	// buffer still makes progress.
 	l.incoming <- increment
 }
 
-// Stats returns the current comparison and match counters.
+// Stats returns the current comparison and match counters. It reads the same
+// instruments the final Summary is built from, so the two always agree.
 func (l *Live) Stats() (comparisons, matches int) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.cmps, l.matches
+	return int(l.m.cmps.Value()), int(l.m.matches.Value())
 }
 
+// Snapshot returns a point-in-time view of the pipeline's internals. It is
+// safe to call from any goroutine, while the pipeline runs or after Stop.
+func (l *Live) Snapshot() LiveSnapshot {
+	return LiveSnapshot{
+		Profiles:        int(l.m.profiles.Value()),
+		Increments:      int(l.m.increments.Value()),
+		Comparisons:     int(l.m.cmps.Value()),
+		Matches:         int(l.m.matches.Value()),
+		NewLinks:        int(l.m.newLinks.Value()),
+		SkippedEvicted:  int(l.m.skipped.Value()),
+		WindowEvictions: int(l.m.evictions.Value()),
+		K:               int(l.m.k.Value()),
+		Pending:         int(l.m.pending.Value()),
+		DedupEntries:    int(l.m.dedup.Value()),
+	}
+}
+
+// Registry returns the metrics registry the pipeline reports into — either
+// LiveConfig.Metrics or the private registry created for this run. Serve it
+// over HTTP with Registry().Handler() or publish it via PublishExpvar.
+func (l *Live) Registry() *obsv.Registry { return l.reg }
+
 // Stop closes the stream, waits for the pipeline to drain all remaining
-// prioritized work, and returns the result.
+// prioritized work, and returns the result. Stop is idempotent: further calls
+// return the same result.
 func (l *Live) Stop() *LiveResult {
-	close(l.incoming)
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		close(l.incoming)
+	}
+	l.mu.Unlock()
 	<-l.done
 	return l.result
 }
@@ -147,8 +276,10 @@ func (l *Live) loop() {
 	ticker := time.NewTicker(l.cfg.TickEvery)
 	defer ticker.Stop()
 
-	var windowIDs []int // insertion order, for eviction
+	var windowIDs []int       // insertion order, for eviction
+	var evictedSinceSweep int // triggers pruning of the executed map
 	ingest := func(inc []*profile.Profile) {
+		t0 := time.Now()
 		for _, p := range inc {
 			col.Add(p)
 			res.Profiles++
@@ -160,6 +291,23 @@ func (l *Live) loop() {
 			for len(windowIDs) > l.cfg.Window {
 				col.Remove(windowIDs[0])
 				windowIDs = windowIDs[1:]
+				evictedSinceSweep++
+				l.m.evictions.Inc()
+			}
+			// Prune dedup entries of long-gone profiles once a full
+			// window has turned over: without this the executed map
+			// grows without bound on an unbounded stream. Sweeping
+			// every Window evictions amortizes the O(|map|) scan to
+			// O(1) per eviction while keeping the map proportional
+			// to the profiles seen since the previous sweep.
+			if evictedSinceSweep >= l.cfg.Window {
+				evictedSinceSweep = 0
+				for key := range executed {
+					x, y := profile.SplitPairKey(key)
+					if col.Profile(x) == nil || col.Profile(y) == nil {
+						delete(executed, key)
+					}
+				}
 			}
 		}
 		l.strategy.UpdateIndex(col, inc)
@@ -168,6 +316,11 @@ func (l *Live) loop() {
 			l.cfg.K.ObserveArrival(now.Sub(lastArrival))
 		}
 		lastArrival = now
+		l.m.profiles.Add(len(inc))
+		l.m.increments.Inc()
+		l.m.incSize.Observe(float64(len(inc)))
+		l.m.ingestSec.Observe(time.Since(t0).Seconds())
+		l.m.dedup.Set(int64(len(executed)))
 	}
 	type job struct {
 		key    uint64
@@ -175,20 +328,29 @@ func (l *Live) loop() {
 		sim    float64
 	}
 	processBatch := func() {
-		batch := core.EmitBatch(l.strategy, l.cfg.K.K())
-		// Phase 1 (sequential): dedup and resolve profiles.
+		k := l.cfg.K.K()
+		l.m.k.Set(int64(k))
+		batch := core.EmitBatch(l.strategy, k)
+		// Phase 1 (sequential): dedup and resolve profiles. A pair is
+		// marked executed only once its profiles resolve — comparisons
+		// skipped because a profile was evicted must not count, or the
+		// final Summary would disagree with the Stats() counters.
 		jobs := make([]job, 0, len(batch))
 		for _, c := range batch {
 			key := c.Key()
 			if _, dup := executed[key]; dup {
 				continue
 			}
-			executed[key] = struct{}{}
 			px, py := col.Profile(c.X), col.Profile(c.Y)
 			if px == nil || py == nil {
+				l.m.skipped.Inc()
 				continue
 			}
+			executed[key] = struct{}{}
 			jobs = append(jobs, job{key: key, px: px, py: py})
+		}
+		if len(batch) > 0 {
+			l.m.batchSize.Observe(float64(len(jobs)))
 		}
 		// Phase 2: similarity computation — the expensive, pure part —
 		// optionally fanned out across workers.
@@ -199,7 +361,9 @@ func (l *Live) loop() {
 				jobs[i].sim = l.cfg.Matcher.Similarity(jobs[i].px, jobs[i].py)
 			}
 			if len(jobs) > 0 {
-				l.cfg.K.ObserveService(time.Since(t0) / time.Duration(len(jobs)))
+				elapsed := time.Since(t0)
+				l.cfg.K.ObserveService(elapsed / time.Duration(len(jobs)))
+				l.m.seqSec.Observe(elapsed.Seconds())
 			}
 		} else {
 			t0 := time.Now()
@@ -225,21 +389,20 @@ func (l *Live) loop() {
 			wg.Wait()
 			// Service time per comparison as the matcher stage sees it:
 			// wall time divided by batch size (workers overlap).
-			l.cfg.K.ObserveService(time.Since(t0) / time.Duration(len(jobs)))
+			elapsed := time.Since(t0)
+			l.cfg.K.ObserveService(elapsed / time.Duration(len(jobs)))
+			l.m.parSec.Observe(elapsed.Seconds())
 		}
 		// Phase 3 (sequential): classification, clustering, reporting.
 		for _, j := range jobs {
 			isMatch := j.sim >= l.cfg.Matcher.Threshold
-			l.mu.Lock()
-			l.cmps++
+			l.m.cmps.Inc()
 			if isMatch {
-				l.matches++
-			}
-			l.mu.Unlock()
-			if isMatch {
+				l.m.matches.Inc()
 				res.Matches++
 				if clusters.Merge(j.px.ID, j.py.ID) {
 					res.NewLinks++
+					l.m.newLinks.Inc()
 				}
 				if l.cfg.OnMatch != nil {
 					l.cfg.OnMatch(LiveMatch{X: j.px, Y: j.py, Similarity: j.sim, At: time.Now()})
@@ -247,6 +410,8 @@ func (l *Live) loop() {
 			}
 			rec.Observe(time.Since(start), j.key)
 		}
+		l.m.pending.Set(int64(l.strategy.Pending()))
+		l.m.dedup.Set(int64(len(executed)))
 	}
 
 	open := true
@@ -277,7 +442,11 @@ func (l *Live) loop() {
 			break
 		}
 	}
-	res.Comparisons = len(executed)
+	// The executed map is pruned under Window, so the counter — not the
+	// map size — is the source of truth for total comparisons. It equals
+	// len(executed) exactly when no pruning happened.
+	res.Comparisons = int(l.m.cmps.Value())
+	res.Matches = int(l.m.matches.Value())
 	res.Clusters = clusters.Clusters(2)
 	res.Elapsed = time.Since(start)
 	res.Curve = rec.Finish(res.Elapsed)
@@ -286,22 +455,31 @@ func (l *Live) loop() {
 
 // Drive pushes the dataset increments into a live pipeline at the given rate
 // (increments per second; <= 0 pushes as fast as possible), respecting ctx
-// cancellation, then stops the pipeline and returns the result. It is a
-// convenience used by the examples and pierrun.
+// cancellation — including during the inter-increment pause — then stops the
+// pipeline and returns the result. It is a convenience used by the examples
+// and pierrun.
 func Drive(ctx context.Context, l *Live, incs [][]*profile.Profile, rate float64) *LiveResult {
 	var interval time.Duration
 	if rate > 0 {
 		interval = time.Duration(float64(time.Second) / rate)
 	}
-	for _, inc := range incs {
+	for i, inc := range incs {
 		select {
 		case <-ctx.Done():
 			return l.Stop()
 		default:
 		}
 		l.Push(inc)
-		if interval > 0 {
-			time.Sleep(interval)
+		if interval > 0 && i < len(incs)-1 {
+			// A timer + select instead of time.Sleep so cancellation
+			// interrupts the pause instead of waiting it out.
+			t := time.NewTimer(interval)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return l.Stop()
+			case <-t.C:
+			}
 		}
 	}
 	return l.Stop()

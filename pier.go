@@ -167,6 +167,34 @@ type Match struct {
 	Similarity float64
 }
 
+// Snapshot is a point-in-time, thread-safe view of a running pipeline's
+// internals: the same numbers pierrun's /metrics endpoint exposes, for
+// embedders that want them without HTTP. Counters are cumulative for the
+// pipeline's lifetime; K, Pending, and DedupEntries are instantaneous.
+type Snapshot struct {
+	// Profiles and Increments count ingested profiles and Push calls.
+	Profiles   int
+	Increments int
+	// Comparisons and Matches are the executed-comparison and duplicate
+	// counts — always equal to Stats() and, after Stop, to the Summary.
+	Comparisons int
+	Matches     int
+	// NewLinks counts matches that connected two previously separate
+	// entity clusters.
+	NewLinks int
+	// SkippedEvicted counts prioritized comparisons dropped because one
+	// profile had already left the Options.Window.
+	SkippedEvicted int
+	// WindowEvictions counts profiles evicted under Options.Window.
+	WindowEvictions int
+	// K is the live adaptive batch size (the paper's findK).
+	K int
+	// Pending is the depth of the prioritized-comparison queue.
+	Pending int
+	// DedupEntries is the size of the executed-comparison dedup map.
+	DedupEntries int
+}
+
 // Summary reports the totals of a finished pipeline.
 type Summary struct {
 	Profiles    int

@@ -440,3 +440,67 @@ func TestProfilesWithNoTokens(t *testing.T) {
 		t.Errorf("Profiles = %d", summary.Profiles)
 	}
 }
+
+func TestPipelineSnapshot(t *testing.T) {
+	profiles, _ := moviePairs()
+	p, err := pier.NewPipeline(pier.Options{
+		CleanClean: true,
+		TickEvery:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range profiles {
+		p.Push([]pier.Profile{pr})
+	}
+	summary := p.Stop()
+	snap := p.Snapshot()
+	if snap.Profiles != summary.Profiles {
+		t.Errorf("Snapshot.Profiles = %d, summary %d", snap.Profiles, summary.Profiles)
+	}
+	if snap.Increments != len(profiles) {
+		t.Errorf("Snapshot.Increments = %d, want %d", snap.Increments, len(profiles))
+	}
+	if snap.Comparisons != summary.Comparisons || snap.Matches != summary.Matches {
+		t.Errorf("Snapshot (%d cmps, %d matches) disagrees with Summary (%d, %d)",
+			snap.Comparisons, snap.Matches, summary.Comparisons, summary.Matches)
+	}
+	if snap.NewLinks != summary.NewLinks {
+		t.Errorf("Snapshot.NewLinks = %d, summary %d", snap.NewLinks, summary.NewLinks)
+	}
+	if snap.K <= 0 {
+		t.Errorf("Snapshot.K = %d, want > 0", snap.K)
+	}
+	if snap.Pending != 0 {
+		t.Errorf("Snapshot.Pending = %d after drained Stop, want 0", snap.Pending)
+	}
+	// Stats must read the same counters as the snapshot at all times.
+	cmps, matches := p.Stats()
+	if cmps != snap.Comparisons || matches != snap.Matches {
+		t.Errorf("Stats (%d, %d) disagrees with Snapshot (%d, %d)",
+			cmps, matches, snap.Comparisons, snap.Matches)
+	}
+}
+
+func TestPipelineSnapshotWindowed(t *testing.T) {
+	p, err := pier.NewPipeline(pier.Options{
+		CleanClean: true,
+		TickEvery:  time.Millisecond,
+		Window:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles, _ := moviePairs()
+	for _, pr := range profiles {
+		p.Push([]pier.Profile{pr})
+	}
+	p.Stop()
+	snap := p.Snapshot()
+	if snap.WindowEvictions == 0 {
+		t.Error("windowed pipeline snapshot recorded no evictions")
+	}
+	if snap.DedupEntries > snap.Comparisons {
+		t.Errorf("DedupEntries = %d exceeds Comparisons = %d", snap.DedupEntries, snap.Comparisons)
+	}
+}

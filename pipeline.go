@@ -92,6 +92,25 @@ func (p *Pipeline) Stats() (comparisons, matches int) {
 	return p.live.Stats()
 }
 
+// Snapshot returns a point-in-time view of the pipeline's internals — live K,
+// queue depth, eviction counts, and the progress counters. It is safe to call
+// from any goroutine, while the pipeline runs or after Stop.
+func (p *Pipeline) Snapshot() Snapshot {
+	s := p.live.Snapshot()
+	return Snapshot{
+		Profiles:        s.Profiles,
+		Increments:      s.Increments,
+		Comparisons:     s.Comparisons,
+		Matches:         s.Matches,
+		NewLinks:        s.NewLinks,
+		SkippedEvicted:  s.SkippedEvicted,
+		WindowEvictions: s.WindowEvictions,
+		K:               s.K,
+		Pending:         s.Pending,
+		DedupEntries:    s.DedupEntries,
+	}
+}
+
 // Stop closes the input, drains all remaining prioritized comparisons, and
 // returns the run's summary. Stop is idempotent.
 func (p *Pipeline) Stop() Summary {
