@@ -20,6 +20,7 @@ import (
 
 	"pier"
 	"pier/internal/baseline"
+	"pier/internal/blocking"
 	"pier/internal/core"
 	"pier/internal/dataset"
 	"pier/internal/experiments"
@@ -238,7 +239,9 @@ func BenchmarkAblationBlockFiltering(b *testing.B) {
 // --- Micro benchmarks ---------------------------------------------------
 
 // BenchmarkResolveThroughput measures end-to-end public-API throughput in
-// profiles resolved per second on the dblp-acm workload.
+// profiles resolved per second on the dblp-acm workload, per parallelism
+// setting: p1 is exact serial execution, p4 fans candidate generation and
+// batch matching out over four workers.
 func BenchmarkResolveThroughput(b *testing.B) {
 	d := dataset.DA(0.1, 1)
 	profiles := make([]pier.Profile, len(d.Profiles))
@@ -249,38 +252,55 @@ func BenchmarkResolveThroughput(b *testing.B) {
 		}
 		profiles[i] = pr
 	}
-	b.ResetTimer()
-	total := 0
-	for i := 0; i < b.N; i++ {
-		_, s, err := pier.Resolve(profiles, pier.Options{CleanClean: true, TickEvery: time.Millisecond})
-		if err != nil {
-			b.Fatal(err)
-		}
-		total += s.Profiles
+	for _, par := range []int{1, 4} {
+		b.Run(fmt.Sprintf("p%d", par), func(b *testing.B) {
+			total := 0
+			for i := 0; i < b.N; i++ {
+				_, s, err := pier.Resolve(profiles, pier.Options{CleanClean: true, TickEvery: time.Millisecond, Parallelism: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += s.Profiles
+			}
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "profiles/s")
+		})
 	}
-	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "profiles/s")
 }
 
-// BenchmarkStrategyUpdateIndex measures index-maintenance cost per increment
-// for each PIER strategy on a growing collection.
+// BenchmarkStrategyUpdateIndex measures pure index-maintenance cost for each
+// PIER strategy on a growing collection: per increment, the profiles are
+// blocked, UpdateIndex integrates them (ghosting, candidate generation,
+// I-WNP, index routing), and a batch is drained so the index keeps moving —
+// but no similarity is ever computed, isolating the stage the candidate-
+// generation worker pool parallelizes. p1 is exact serial execution; p4 fans
+// the per-profile work out over four workers.
 func BenchmarkStrategyUpdateIndex(b *testing.B) {
-	d := dataset.Movies(0.04, 1)
-	mks := map[string]func() core.Strategy{
-		"I-PCS":  func() core.Strategy { return core.NewIPCS(core.DefaultConfig()) },
-		"I-PBS":  func() core.Strategy { return core.NewIPBS(core.DefaultConfig()) },
-		"I-PES":  func() core.Strategy { return core.NewIPES(core.DefaultConfig()) },
-		"I-BASE": func() core.Strategy { return baseline.NewIBase(core.DefaultConfig()) },
+	d := dataset.Movies(0.08, 1)
+	incs := d.Increments(20)
+	mks := map[string]func(core.Config) core.Strategy{
+		"I-PCS":  func(cfg core.Config) core.Strategy { return core.NewIPCS(cfg) },
+		"I-PBS":  func(cfg core.Config) core.Strategy { return core.NewIPBS(cfg) },
+		"I-PES":  func(cfg core.Config) core.Strategy { return core.NewIPES(cfg) },
+		"I-BASE": func(cfg core.Config) core.Strategy { return baseline.NewIBase(cfg) },
 	}
-	for name, mk := range mks {
-		b.Run(name, func(b *testing.B) {
-			cfg := stream.DefaultConfig(true, match.JS, d.GroundTruth)
-			for i := 0; i < b.N; i++ {
-				res := stream.Run(mk(), stream.Schedule(d.Increments(40), 0), cfg)
-				if res.Profiles != d.NumProfiles() {
-					b.Fatal("incomplete run")
+	for _, name := range []string{"I-PCS", "I-PBS", "I-PES", "I-BASE"} {
+		for _, par := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/p%d", name, par), func(b *testing.B) {
+				cfg := core.DefaultConfig()
+				cfg.Parallelism = par
+				for i := 0; i < b.N; i++ {
+					s := mks[name](cfg)
+					col := blocking.NewCollection(d.CleanClean, stream.DefaultMaxBlockSize)
+					for _, inc := range incs {
+						for _, p := range inc {
+							col.Add(p)
+						}
+						s.UpdateIndex(col, inc)
+						core.EmitBatch(s, 256)
+					}
 				}
-			}
-			b.ReportMetric(float64(d.NumProfiles()*b.N)/b.Elapsed().Seconds(), "profiles/s")
-		})
+				b.ReportMetric(float64(d.NumProfiles()*b.N)/b.Elapsed().Seconds(), "profiles/s")
+			})
+		}
 	}
 }

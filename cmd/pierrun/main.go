@@ -11,6 +11,10 @@
 //
 //	pierrun -in movies.csv -metrics :9090 &
 //	curl localhost:9090/metrics
+//
+// With -cpuprofile/-memprofile the run writes pprof profiles for offline
+// analysis with `go tool pprof`, and -parallelism sets the worker count of
+// the parallel pipeline stages (0 = one worker per CPU, 1 = exact serial).
 package main
 
 import (
@@ -20,6 +24,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"pier/internal/baseline"
@@ -57,8 +63,38 @@ func main() {
 	nIncs := flag.Int("increments", 100, "number of increments to split the stream into")
 	window := flag.Int("window", 0, "profile window for unbounded streams (0 keeps everything)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/vars on this address (e.g. :9090; empty disables)")
+	parallelism := flag.Int("parallelism", 0, "worker count of the parallel pipeline stages (0 = one per CPU, 1 = exact serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
 	verbose := flag.Bool("v", false, "print every match as it is found")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "pierrun: -in is required (generate data with piergen)")
@@ -85,7 +121,12 @@ func main() {
 		}
 	}
 
+	// One registry covers both parallel stages (candidate generation and
+	// batch matching), so /metrics shows the whole pipeline.
+	reg := obsv.NewRegistry()
 	cfg := core.DefaultConfig()
+	cfg.Parallelism = *parallelism
+	cfg.Metrics = reg
 	var strategy core.Strategy
 	switch *alg {
 	case "I-PCS":
@@ -112,6 +153,8 @@ func main() {
 		Matcher:      match.NewMatcher(kind),
 		GroundTruth:  d.GroundTruth,
 		Window:       *window,
+		Parallelism:  *parallelism,
+		Metrics:      reg,
 	}
 	found := 0
 	liveCfg.OnMatch = func(m stream.LiveMatch) {

@@ -26,6 +26,7 @@ type PBS struct {
 	emission    []metablocking.Comparison
 	head        int
 	executed    map[uint64]struct{}
+	weigher     metablocking.Weigher
 	lastVersion uint64
 	initialized bool
 }
@@ -92,7 +93,7 @@ func (s *PBS) build(col *blocking.Collection) time.Duration {
 			s.emission = append(s.emission, metablocking.Comparison{
 				X:      x,
 				Y:      y,
-				Weight: float64(metablocking.SharedBlocks(col, x, y)),
+				Weight: float64(s.weigher.SharedBlocks(col, x, y)),
 				BSize:  b.Size(),
 			})
 		}

@@ -184,6 +184,19 @@ func (c *Collection) BlocksOf(id int) []*Block {
 	return out
 }
 
+// AppendLiveKeysOf appends the keys of the live blocks containing profile id
+// to buf and returns the extended slice. Reusing buf across calls makes the
+// enumeration allocation-free — the point of this method over BlocksOf for
+// per-pair weighing, which runs once per candidate comparison.
+func (c *Collection) AppendLiveKeysOf(id int, buf []string) []string {
+	for _, k := range c.ofProf[id] {
+		if _, ok := c.blocks[k]; ok {
+			buf = append(buf, k)
+		}
+	}
+	return buf
+}
+
 // NumBlocksOf returns the number of live blocks containing profile id. It is
 // the |B(p)| term of meta-blocking weighting schemes.
 func (c *Collection) NumBlocksOf(id int) int {

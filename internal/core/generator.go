@@ -6,8 +6,15 @@ import (
 	"pier/internal/blocking"
 	"pier/internal/bloom"
 	"pier/internal/metablocking"
+	"pier/internal/obsv"
+	"pier/internal/pool"
 	"pier/internal/profile"
 )
+
+// parallelThreshold is the minimum increment size worth fanning out: below
+// it, goroutine startup dominates the per-profile work. Well under any real
+// increment size, so the parallel path is exercised by normal workloads.
+const parallelThreshold = 4
 
 // generator implements the comparison-generation core shared by I-PCS and
 // I-PES: lines 1–11 of Algorithm 2. For each new profile of an increment it
@@ -16,14 +23,31 @@ import (
 // are empty it falls back to GetComparisons, scanning leftover comparisons
 // from the block collection smallest-block-first so that idle time keeps
 // producing useful work.
+//
+// Per-profile candidate generation is independent by construction — the
+// smaller-ID rule in metablocking.Candidates generates every unordered pair
+// exactly once, from the later profile, against collection state that already
+// contains the whole increment — so candidates fans the per-profile work out
+// over a worker pool and merges the results in original profile order. The
+// merged list is bit-for-bit identical to the serial one, keeping every
+// strategy's index state independent of Config.Parallelism.
 type generator struct {
-	cfg Config
+	cfg  Config
+	pool *pool.Pool
+
+	// genSec, when instrumented, records the wall time of each candidates()
+	// call — the stage whose parallel speedup the pool exists to buy.
+	genSec *obsv.Histogram
 
 	// executed records pairs handed to the matcher, so fallback scans
 	// never re-emit work that was already done. A scalable Bloom filter
 	// keeps it constant-memory-per-pair; false positives only suppress a
 	// leftover comparison, never corrupt results.
 	executed *bloom.Filter
+
+	// weigher is the reusable per-pair CBS weigher of the fallback path;
+	// only the (serial) fallback scan touches it.
+	weigher metablocking.Weigher
 
 	scanKeys    []string
 	scanPos     int
@@ -32,21 +56,72 @@ type generator struct {
 }
 
 func newGenerator(cfg Config) *generator {
-	return &generator{cfg: cfg, executed: bloom.New(1<<16, 0.001)}
+	g := &generator{
+		cfg:      cfg,
+		pool:     pool.New(cfg.Parallelism),
+		executed: bloom.New(1<<16, 0.001),
+	}
+	if cfg.Metrics != nil {
+		g.pool.Instrument(
+			cfg.Metrics.Gauge("pier_gen_workers_busy", "candidate-generation workers currently executing"),
+			cfg.Metrics.Counter("pier_gen_tasks_total", "per-profile candidate-generation tasks completed"),
+		)
+		g.genSec = cfg.Metrics.Histogram("pier_gen_seconds", "wall time of candidate generation per increment", obsv.ExpBuckets(1e-6, 10, 8))
+	}
+	return g
 }
 
 // candidates runs lines 1–9 of Algorithm 2 over the increment: block
 // ghosting with β, candidate generation against earlier profiles, and I-WNP
 // pruning. It returns the weighted comparison list and the modeled cost.
+// Large increments are fanned out over the worker pool; per-profile results
+// land in index-addressed slots and are concatenated in profile order, so the
+// output is identical for every Config.Parallelism setting.
 func (g *generator) candidates(col *blocking.Collection, delta []*profile.Profile) ([]metablocking.Comparison, time.Duration) {
-	var out []metablocking.Comparison
-	var cost time.Duration
-	for _, p := range delta {
+	if len(delta) == 0 {
+		return nil, 0
+	}
+	var t0 time.Time
+	if g.genSec != nil {
+		t0 = time.Now()
+	}
+	perProfile := func(p *profile.Profile) ([]metablocking.Comparison, time.Duration) {
 		blocks := blocking.FilterTopR(col.BlocksOf(p.ID), g.cfg.FilterRatio)
 		blocks = blocking.Ghost(blocks, g.cfg.Beta)
 		cands := metablocking.Candidates(col, p, blocks, g.cfg.Scheme)
-		cost += g.cfg.Costs.Generate(len(cands))
-		out = append(out, metablocking.IWNP(cands)...)
+		return metablocking.IWNP(cands), g.cfg.Costs.Generate(len(cands))
+	}
+
+	var out []metablocking.Comparison
+	var cost time.Duration
+	if g.pool.Serial() || len(delta) < parallelThreshold {
+		for _, p := range delta {
+			cs, c := perProfile(p)
+			out = append(out, cs...)
+			cost += c
+		}
+	} else {
+		// Fan out: the per-profile work only reads the collection (the
+		// whole increment is already blocked before UpdateIndex runs), so
+		// concurrent tasks never race; the single-writer merge below is
+		// the only mutation.
+		results := make([][]metablocking.Comparison, len(delta))
+		costs := make([]time.Duration, len(delta))
+		g.pool.ForEach(len(delta), func(i int) {
+			results[i], costs[i] = perProfile(delta[i])
+		})
+		total := 0
+		for _, r := range results {
+			total += len(r)
+		}
+		out = make([]metablocking.Comparison, 0, total)
+		for i := range results {
+			out = append(out, results[i]...)
+			cost += costs[i]
+		}
+	}
+	if g.genSec != nil {
+		g.genSec.Observe(time.Since(t0).Seconds())
 	}
 	return out, cost
 }
@@ -95,7 +170,7 @@ func (g *generator) blockComparisons(col *blocking.Collection, b *blocking.Block
 		out = append(out, metablocking.Comparison{
 			X:      x,
 			Y:      y,
-			Weight: float64(metablocking.SharedBlocks(col, x, y)),
+			Weight: float64(g.weigher.SharedBlocks(col, x, y)),
 			BSize:  b.Size(),
 		})
 	}

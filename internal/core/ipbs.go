@@ -46,6 +46,10 @@ type IPBS struct {
 	minHeap *queue.Heap[ciEntry]
 
 	cf *bloom.Filter
+
+	// weigher is the reusable per-pair CBS weigher of emitBlock; I-PBS is
+	// single-writer, so one scratch instance per strategy suffices.
+	weigher metablocking.Weigher
 }
 
 type ciEntry struct {
@@ -163,7 +167,7 @@ func (s *IPBS) emitBlock(col *blocking.Collection, b *blocking.Block) time.Durat
 		s.index.Push(metablocking.Comparison{
 			X:      x,
 			Y:      y,
-			Weight: float64(metablocking.SharedBlocks(col, x, y)),
+			Weight: float64(s.weigher.SharedBlocks(col, x, y)),
 			BSize:  bsize,
 		})
 	}

@@ -19,6 +19,7 @@ import (
 	"pier/internal/blocking"
 	"pier/internal/match"
 	"pier/internal/metablocking"
+	"pier/internal/obsv"
 	"pier/internal/profile"
 )
 
@@ -61,6 +62,17 @@ type Config struct {
 	PerEntityCapacity int
 	// Costs is the virtual-time cost model charged for maintenance work.
 	Costs match.CostModel
+	// Parallelism is the number of workers candidate generation fans the
+	// increment's per-profile work out over: 0 (the default) or negative
+	// uses one worker per CPU, 1 forces exact serial execution. Results are
+	// merged in profile order, so every setting produces bit-for-bit the
+	// same index state; only wall-clock time changes. The strategies'
+	// index mutation itself stays single-writer per the Strategy contract.
+	Parallelism int
+	// Metrics, if set, is the registry candidate generation registers its
+	// worker-pool instruments in (busy-workers gauge, task counter, stage
+	// timers). Nil disables instrumentation.
+	Metrics *obsv.Registry
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -89,11 +101,4 @@ func EmitBatch(s Strategy, k int) []metablocking.Comparison {
 		out = append(out, c)
 	}
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

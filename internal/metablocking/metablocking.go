@@ -139,23 +139,30 @@ func Candidates(col *blocking.Collection, p *profile.Profile, blocks []*blocking
 		arcs   float64
 		bsize  int
 	}
-	partners := make(map[int]*acc)
+	// A value map, not map[int]*acc: accumulator updates are read-modify-
+	// write on the map slot, trading one map store per block membership for
+	// one heap object per partner. Candidates is called once per profile of
+	// every increment — and concurrently across profiles under Config
+	// .Parallelism — so per-call allocation volume matters more than the
+	// extra store.
+	partners := make(map[int]acc)
 	consider := func(ids []int, b *blocking.Block) {
 		inv := 1.0 / float64(maxInt(1, b.Comparisons(col.CleanClean())))
+		size := b.Size()
 		for _, id := range ids {
 			if id >= p.ID {
 				continue
 			}
 			a, ok := partners[id]
 			if !ok {
-				a = &acc{bsize: b.Size()}
-				partners[id] = a
+				a.bsize = size
 			}
 			a.common++
 			a.arcs += inv
-			if s := b.Size(); s < a.bsize {
-				a.bsize = s
+			if size < a.bsize {
+				a.bsize = size
 			}
+			partners[id] = a
 		}
 	}
 	for _, b := range blocks {
@@ -216,21 +223,75 @@ func maxInt(a, b int) int {
 }
 
 // SharedBlocks counts the live blocks shared by profiles x and y — the exact
-// CBS weight of the pair, computed by block-key set intersection. It is the
-// per-pair weigher used where candidates are generated from a block rather
-// than from a new profile's block list (I-PBS, PBS, fallback scans).
+// CBS weight of the pair, computed by sorted block-key intersection (no
+// per-pair map allocation). It is the one-shot convenience; the block-scan
+// hot paths (I-PBS, PBS, fallback scans) use a Weigher, which additionally
+// amortizes the anchor profile's key set across the pairs of one block.
 func SharedBlocks(col *blocking.Collection, x, y int) int {
 	bx, by := col.BlocksOf(x), col.BlocksOf(y)
-	if len(bx) > len(by) {
-		bx, by = by, bx
+	// BlocksOf returns fresh slices, so sorting in place is safe.
+	sortBlocksByKey(bx)
+	sortBlocksByKey(by)
+	n, i, j := 0, 0, 0
+	for i < len(bx) && j < len(by) {
+		switch {
+		case bx[i].Key < by[j].Key:
+			i++
+		case bx[i].Key > by[j].Key:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
 	}
-	set := make(map[string]struct{}, len(bx))
-	for _, b := range bx {
-		set[b.Key] = struct{}{}
+	return n
+}
+
+func sortBlocksByKey(bs []*blocking.Block) {
+	sort.Slice(bs, func(i, j int) bool { return bs[i].Key < bs[j].Key })
+}
+
+// Weigher is a reusable per-pair CBS weigher for block-scan candidate
+// generation, where one anchor profile is weighed against many partners in a
+// row. It keeps the anchor's block-key set in a scratch map that is rebuilt
+// only when the anchor (or the collection state) changes and reuses key
+// buffers across calls, so steady-state weighing allocates nothing — unlike
+// the one-shot SharedBlocks, which builds both profiles' key lists per call.
+//
+// A Weigher is single-goroutine state: strategies own one each (index
+// mutation is single-writer per the Strategy contract), never sharing it
+// across the candidate-generation worker pool.
+type Weigher struct {
+	col     *blocking.Collection
+	version uint64
+	anchor  int
+	valid   bool
+	set     map[string]struct{}
+	xbuf    []string
+	ybuf    []string
+}
+
+// SharedBlocks counts the live blocks shared by x and y, caching x's key set
+// between calls. Callers should keep the anchor profile in the first
+// argument position across a scan to benefit from the cache; correctness
+// does not depend on it.
+func (w *Weigher) SharedBlocks(col *blocking.Collection, x, y int) int {
+	if !w.valid || w.col != col || w.version != col.Version() || w.anchor != x {
+		if w.set == nil {
+			w.set = make(map[string]struct{}, 16)
+		}
+		clear(w.set)
+		w.xbuf = col.AppendLiveKeysOf(x, w.xbuf[:0])
+		for _, k := range w.xbuf {
+			w.set[k] = struct{}{}
+		}
+		w.col, w.version, w.anchor, w.valid = col, col.Version(), x, true
 	}
+	w.ybuf = col.AppendLiveKeysOf(y, w.ybuf[:0])
 	n := 0
-	for _, b := range by {
-		if _, ok := set[b.Key]; ok {
+	for _, k := range w.ybuf {
+		if _, ok := w.set[k]; ok {
 			n++
 		}
 	}

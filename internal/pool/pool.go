@@ -1,0 +1,115 @@
+// Package pool provides the bounded worker pool shared by the pipeline's
+// parallel stages: candidate generation in the prioritization strategies and
+// similarity computation in the live matcher. Both stages are embarrassingly
+// parallel over independent items, but their consumers require deterministic
+// results, so the pool only offers an *indexed* parallel-for: workers pull
+// item indices from a shared counter (dynamic load balancing) and write
+// results into caller-owned, index-addressed slots, which the caller then
+// merges in index order. Execution order is nondeterministic; merged output
+// is bit-for-bit identical to a serial run.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"pier/internal/obsv"
+)
+
+// Resolve maps a user-facing parallelism knob to a worker count: 0 or any
+// negative value means one worker per available CPU (GOMAXPROCS), 1 forces
+// exact serial execution, and n > 1 means n workers.
+func Resolve(parallelism int) int {
+	if parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// Pool fans indexed tasks out over a fixed number of workers. The zero-cost
+// configuration is workers == 1: ForEach then runs the loop inline on the
+// calling goroutine, spawning nothing — the knob's "exact serial behavior"
+// setting. A Pool is stateless between ForEach calls and safe for reuse; a
+// single ForEach call must not be issued concurrently with another on the
+// same Pool only if the instruments are shared and the caller cares about
+// gauge accuracy (the arithmetic itself is atomic and safe).
+type Pool struct {
+	workers int
+
+	// Optional instruments; nil fields are skipped.
+	busy  *obsv.Gauge   // workers currently executing tasks
+	tasks *obsv.Counter // tasks completed
+}
+
+// New returns a pool with Resolve(parallelism) workers.
+func New(parallelism int) *Pool {
+	return &Pool{workers: Resolve(parallelism)}
+}
+
+// Instrument attaches observability instruments to the pool: busy tracks the
+// number of workers currently inside a task, tasks counts completed tasks.
+// Either may be nil. It returns the pool for chaining.
+func (p *Pool) Instrument(busy *obsv.Gauge, tasks *obsv.Counter) *Pool {
+	p.busy = busy
+	p.tasks = tasks
+	return p
+}
+
+// Workers returns the resolved worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Serial reports whether the pool runs tasks inline on the caller.
+func (p *Pool) Serial() bool { return p.workers <= 1 }
+
+// ForEach runs fn(i) for every i in [0, n), fanning the calls out over at
+// most Workers() goroutines and returning once all have completed. fn must be
+// safe to call concurrently for distinct indices; writes it performs to
+// distinct index-addressed slots need no further synchronization (ForEach's
+// completion is a happens-before barrier for the caller). With one worker —
+// or a single task — the loop runs inline in increasing index order.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			p.run(i, fn)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				p.run(i, fn)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// run executes one task under the pool's instruments.
+func (p *Pool) run(i int, fn func(int)) {
+	if p.busy != nil {
+		p.busy.Add(1)
+	}
+	fn(i)
+	if p.busy != nil {
+		p.busy.Add(-1)
+	}
+	if p.tasks != nil {
+		p.tasks.Inc()
+	}
+}

@@ -1,0 +1,128 @@
+package stream
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"pier/internal/blocking"
+	"pier/internal/core"
+	"pier/internal/dataset"
+	"pier/internal/match"
+	"pier/internal/metablocking"
+)
+
+// strategyMakers builds the three PIER strategies at a given parallelism.
+func strategyMakers(parallelism int) map[string]func() core.Strategy {
+	cfg := core.DefaultConfig()
+	cfg.Parallelism = parallelism
+	return map[string]func() core.Strategy{
+		"I-PCS": func() core.Strategy { return core.NewIPCS(cfg) },
+		"I-PBS": func() core.Strategy { return core.NewIPBS(cfg) },
+		"I-PES": func() core.Strategy { return core.NewIPES(cfg) },
+	}
+}
+
+// emissionSequence drives one strategy over the dataset's increments with a
+// fixed batch size and records every dequeued comparison in order — the
+// pipeline-visible emission sequence the determinism contract covers.
+func emissionSequence(d *dataset.Dataset, mk func() core.Strategy) []metablocking.Comparison {
+	s := mk()
+	col := blocking.NewCollection(d.CleanClean, DefaultMaxBlockSize)
+	var seq []metablocking.Comparison
+	for _, inc := range d.Increments(20) {
+		for _, p := range inc {
+			col.Add(p)
+		}
+		s.UpdateIndex(col, inc)
+		seq = append(seq, core.EmitBatch(s, 64)...)
+	}
+	// Drain leftovers, including fallback-scan refills on empty ticks.
+	for {
+		seq = append(seq, core.EmitBatch(s, 64)...)
+		if s.Pending() > 0 {
+			continue
+		}
+		s.UpdateIndex(col, nil)
+		if s.Pending() == 0 {
+			return seq
+		}
+	}
+}
+
+// TestParallelEmissionOrderDeterministic is the strategy-level half of the
+// determinism contract: candidate generation fanned out over 8 workers must
+// produce bit-for-bit the emission order of the serial path, for every
+// strategy. This holds because per-profile results are merged back in
+// original profile order before any index mutation.
+func TestParallelEmissionOrderDeterministic(t *testing.T) {
+	d := dataset.DA(0.1, 42)
+	serial := strategyMakers(1)
+	parallel := strategyMakers(8)
+	for name := range serial {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			want := emissionSequence(d, serial[name])
+			got := emissionSequence(d, parallel[name])
+			if len(want) == 0 {
+				t.Fatal("serial run emitted no comparisons; test is vacuous")
+			}
+			if len(got) != len(want) {
+				t.Fatalf("emission length differs: parallel %d, serial %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("emission diverges at position %d: parallel %v, serial %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestParallelLiveResultDeterministic is the pipeline-level half: a live run
+// at Parallelism 8 must report the same totals and clusters as one at
+// Parallelism 1. Batch boundaries may differ between runs (the adaptive K
+// observes wall-clock service times), but the drained totals are a function
+// of the emitted comparison *set*, which parallelism does not change.
+func TestParallelLiveResultDeterministic(t *testing.T) {
+	d := dataset.DA(0.1, 42)
+	for name, mkSerial := range strategyMakers(1) {
+		mkParallel := strategyMakers(8)[name]
+		t.Run(name, func(t *testing.T) {
+			run := func(mk func() core.Strategy, parallelism int) *LiveResult {
+				l := LiveRun(mk(), LiveConfig{
+					CleanClean:   d.CleanClean,
+					MaxBlockSize: DefaultMaxBlockSize,
+					Matcher:      match.NewMatcher(match.JS),
+					TickEvery:    time.Hour, // no idle ticks: arrivals only
+					GroundTruth:  d.GroundTruth,
+					Parallelism:  parallelism,
+				})
+				for _, inc := range d.Increments(20) {
+					l.Push(inc)
+				}
+				return l.Stop()
+			}
+			serial := run(mkSerial, 1)
+			parallel := run(mkParallel, 8)
+			if serial.Comparisons == 0 || serial.Matches == 0 {
+				t.Fatalf("serial run did no work: %+v", serial)
+			}
+			if parallel.Comparisons != serial.Comparisons {
+				t.Errorf("Comparisons: parallel %d, serial %d", parallel.Comparisons, serial.Comparisons)
+			}
+			if parallel.Matches != serial.Matches {
+				t.Errorf("Matches: parallel %d, serial %d", parallel.Matches, serial.Matches)
+			}
+			if parallel.NewLinks != serial.NewLinks {
+				t.Errorf("NewLinks: parallel %d, serial %d", parallel.NewLinks, serial.NewLinks)
+			}
+			if parallel.Profiles != serial.Profiles {
+				t.Errorf("Profiles: parallel %d, serial %d", parallel.Profiles, serial.Profiles)
+			}
+			if !reflect.DeepEqual(parallel.Clusters, serial.Clusters) {
+				t.Errorf("clusters differ: parallel %d clusters, serial %d", len(parallel.Clusters), len(serial.Clusters))
+			}
+		})
+	}
+}

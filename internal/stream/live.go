@@ -2,7 +2,6 @@ package stream
 
 import (
 	"context"
-	"runtime"
 	"sync"
 	"time"
 
@@ -12,6 +11,7 @@ import (
 	"pier/internal/match"
 	"pier/internal/metrics"
 	"pier/internal/obsv"
+	"pier/internal/pool"
 	"pier/internal/profile"
 )
 
@@ -50,8 +50,11 @@ type LiveConfig struct {
 	// Parallelism is the number of goroutines computing similarities
 	// within a batch — the matching step is the pipeline bottleneck and
 	// embarrassingly parallel, mirroring the task-based parallelization of
-	// the framework the paper extends. 0 or 1 is sequential; negative uses
-	// all CPUs.
+	// the framework the paper extends. 0 (the default) or negative uses
+	// one worker per CPU; 1 forces exact serial execution; n > 1 uses n
+	// workers. Every setting produces identical results: verdicts are
+	// collected into a slice indexed by batch position before any cluster
+	// or stats update, so only wall-clock time changes.
 	Parallelism int
 	// OnMatch, if set, is called synchronously from the pipeline goroutine
 	// for every pair classified as a duplicate.
@@ -122,9 +125,10 @@ type liveMetrics struct {
 	skipped    *obsv.Counter
 	evictions  *obsv.Counter
 
-	k       *obsv.Gauge
-	pending *obsv.Gauge
-	dedup   *obsv.Gauge
+	k         *obsv.Gauge
+	pending   *obsv.Gauge
+	dedup     *obsv.Gauge
+	matchBusy *obsv.Gauge
 
 	incSize   *obsv.Histogram
 	ingestSec *obsv.Histogram
@@ -151,6 +155,7 @@ func newLiveMetrics(reg *obsv.Registry) *liveMetrics {
 		k:          reg.Gauge("pier_k", "live adaptive batch size K (Algorithm 1 findK)"),
 		pending:    reg.Gauge("pier_pending", "strategy queued-comparison depth after the last batch"),
 		dedup:      reg.Gauge("pier_dedup_entries", "size of the executed-comparison dedup map"),
+		matchBusy:  reg.Gauge("pier_match_workers_busy", "matcher workers currently computing similarities"),
 		incSize:    reg.Histogram("pier_increment_size", "profiles per pushed increment", sizeBuckets),
 		ingestSec:  reg.Histogram("pier_ingest_seconds", "wall time to block and index one increment", latBuckets),
 		batchSize:  reg.Histogram("pier_batch_size", "comparisons per emitted batch (after dedup and eviction skips)", sizeBuckets),
@@ -184,9 +189,6 @@ func LiveRun(strategy core.Strategy, cfg LiveConfig) *Live {
 	}
 	if cfg.K == nil {
 		cfg.K = core.NewAdaptiveK()
-	}
-	if cfg.Parallelism < 0 {
-		cfg.Parallelism = runtime.NumCPU()
 	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = obsv.NewRegistry()
@@ -327,6 +329,7 @@ func (l *Live) loop() {
 		px, py *profile.Profile
 		sim    float64
 	}
+	matchPool := pool.New(l.cfg.Parallelism).Instrument(l.m.matchBusy, nil)
 	processBatch := func() {
 		k := l.cfg.K.K()
 		l.m.k.Set(int64(k))
@@ -353,9 +356,11 @@ func (l *Live) loop() {
 			l.m.batchSize.Observe(float64(len(jobs)))
 		}
 		// Phase 2: similarity computation — the expensive, pure part —
-		// optionally fanned out across workers.
-		workers := l.cfg.Parallelism
-		if workers <= 1 || len(jobs) < 4*workers {
+		// fanned out across the worker pool. Verdicts land in the jobs
+		// slice indexed by batch position, so phase 3 sees the same
+		// sequence regardless of worker count. Small batches stay on the
+		// calling goroutine: fan-out overhead would exceed the work.
+		if matchPool.Serial() || len(jobs) < 4*matchPool.Workers() {
 			t0 := time.Now()
 			for i := range jobs {
 				jobs[i].sim = l.cfg.Matcher.Similarity(jobs[i].px, jobs[i].py)
@@ -367,26 +372,9 @@ func (l *Live) loop() {
 			}
 		} else {
 			t0 := time.Now()
-			var wg sync.WaitGroup
-			stride := (len(jobs) + workers - 1) / workers
-			for w := 0; w < workers; w++ {
-				lo := w * stride
-				hi := lo + stride
-				if hi > len(jobs) {
-					hi = len(jobs)
-				}
-				if lo >= hi {
-					break
-				}
-				wg.Add(1)
-				go func(part []job) {
-					defer wg.Done()
-					for i := range part {
-						part[i].sim = l.cfg.Matcher.Similarity(part[i].px, part[i].py)
-					}
-				}(jobs[lo:hi])
-			}
-			wg.Wait()
+			matchPool.ForEach(len(jobs), func(i int) {
+				jobs[i].sim = l.cfg.Matcher.Similarity(jobs[i].px, jobs[i].py)
+			})
 			// Service time per comparison as the matcher stage sees it:
 			// wall time divided by batch size (workers overlap).
 			elapsed := time.Since(t0)

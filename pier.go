@@ -33,6 +33,7 @@ import (
 	"pier/internal/core"
 	"pier/internal/match"
 	"pier/internal/metablocking"
+	"pier/internal/obsv"
 	"pier/internal/profile"
 	"pier/internal/stream"
 )
@@ -236,8 +237,12 @@ type Options struct {
 	// TickEvery is how often idle pipelines reconsider leftover
 	// comparisons; 0 means the default (50ms).
 	TickEvery time.Duration
-	// Parallelism is the number of goroutines the matching step uses
-	// within a batch; 0 or 1 is sequential, negative uses all CPUs.
+	// Parallelism is the worker count of the pipeline's parallel stages —
+	// per-profile candidate generation and within-batch similarity
+	// computation. 0 (the default) or negative uses one worker per CPU;
+	// 1 forces exact serial execution; n > 1 uses n workers. Results are
+	// identical for every setting (parallel work is merged back in
+	// deterministic order); only throughput changes.
 	Parallelism int
 	// Blocking selects the blocking-key extractor (default TokenBlocking).
 	Blocking Blocking
@@ -356,6 +361,7 @@ func (o Options) coreConfig() core.Config {
 	} else if o.IndexCapacity < 0 {
 		cfg.IndexCapacity = 0
 	}
+	cfg.Parallelism = o.Parallelism
 	return cfg
 }
 
@@ -371,9 +377,13 @@ func (o Options) maxBlockSize() int {
 	}
 }
 
-// strategy instantiates the selected algorithm.
-func (o Options) strategy() (core.Strategy, error) {
+// strategy instantiates the selected algorithm. reg, if non-nil, is the
+// metrics registry the strategy's candidate-generation pool reports into —
+// the same registry the live pipeline uses, so one endpoint covers both
+// parallel stages.
+func (o Options) strategy(reg *obsv.Registry) (core.Strategy, error) {
 	cfg := o.coreConfig()
+	cfg.Metrics = reg
 	switch o.Algorithm {
 	case "", IPES:
 		return core.NewIPES(cfg), nil

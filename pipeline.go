@@ -3,6 +3,7 @@ package pier
 import (
 	"sync"
 
+	"pier/internal/obsv"
 	"pier/internal/profile"
 	"pier/internal/stream"
 )
@@ -26,7 +27,10 @@ type Pipeline struct {
 // NewPipeline starts a pipeline with the given options. It returns an error
 // only for an unknown Options.Algorithm.
 func NewPipeline(opt Options) (*Pipeline, error) {
-	strategy, err := opt.strategy()
+	// One registry serves both parallel stages: the strategy's candidate-
+	// generation pool and the live matcher pool report side by side.
+	reg := obsv.NewRegistry()
+	strategy, err := opt.strategy(reg)
 	if err != nil {
 		return nil, err
 	}
@@ -39,6 +43,7 @@ func NewPipeline(opt Options) (*Pipeline, error) {
 		Parallelism:  opt.Parallelism,
 		Keyer:        opt.keyer(),
 		Window:       opt.Window,
+		Metrics:      reg,
 	}
 	if opt.OnMatch != nil {
 		onMatch := opt.OnMatch
