@@ -14,12 +14,22 @@ import (
 )
 
 func main() {
-	name := flag.String("dataset", "da", "dataset to generate: da, movies, census, webdata")
-	scale := flag.Float64("scale", 1, "scale relative to the paper's full size")
-	seed := flag.Int64("seed", 1, "generation seed")
-	out := flag.String("out", "", "profiles CSV output path (default <dataset>.csv)")
-	gt := flag.String("gt", "", "ground-truth CSV output path (default <dataset>_gt.csv)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("piergen", flag.ContinueOnError)
+	name := fs.String("dataset", "da", "dataset to generate: da, movies, census, webdata")
+	scale := fs.Float64("scale", 1, "scale relative to the paper's full size")
+	seed := fs.Int64("seed", 1, "generation seed")
+	out := fs.String("out", "", "profiles CSV output path (default <dataset>.csv)")
+	gt := fs.String("gt", "", "ground-truth CSV output path (default <dataset>_gt.csv)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var d *dataset.Dataset
 	switch *name {
@@ -32,8 +42,7 @@ func main() {
 	case "webdata":
 		d = dataset.WebData(*scale, *seed)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown dataset %q (want da, movies, census, webdata)\n", *name)
-		os.Exit(2)
+		return fmt.Errorf("unknown dataset %q (want da, movies, census, webdata)", *name)
 	}
 	if *out == "" {
 		*out = *name + ".csv"
@@ -42,14 +51,13 @@ func main() {
 		*gt = *name + "_gt.csv"
 	}
 	if err := writeFile(*out, d, dataset.WriteCSV); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	if err := writeFile(*gt, d, dataset.WriteGroundTruthCSV); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Printf("%s\nwrote %s and %s\n", d, *out, *gt)
+	fmt.Fprintf(stdout, "%s\nwrote %s and %s\n", d, *out, *gt)
+	return nil
 }
 
 func writeFile(path string, d *dataset.Dataset, write func(w io.Writer, d *dataset.Dataset) error) error {

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pier/internal/dataset"
+)
+
+// TestPiergenSmoke generates a small dataset into a temp directory and reads
+// both CSVs back through the same parsers pierrun uses, so the round trip is
+// the one real users take.
+func TestPiergenSmoke(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "movies.csv")
+	gt := filepath.Join(dir, "movies_gt.csv")
+	var stdout bytes.Buffer
+	err := run([]string{"-dataset", "movies", "-scale", "0.002", "-seed", "3", "-out", out, "-gt", gt}, &stdout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "wrote") {
+		t.Fatalf("missing summary line in output: %q", stdout.String())
+	}
+
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := dataset.ReadCSV(f, "movies", true)
+	if err != nil {
+		t.Fatalf("generated profiles CSV does not parse: %v", err)
+	}
+	if len(d.Profiles) == 0 {
+		t.Fatal("generated dataset has no profiles")
+	}
+	g, err := os.Open(gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if err := dataset.ReadGroundTruthCSV(g, d); err != nil {
+		t.Fatalf("generated ground-truth CSV does not parse: %v", err)
+	}
+	if len(d.GroundTruth) == 0 {
+		t.Fatal("generated dataset has no ground-truth pairs")
+	}
+}
+
+func TestPiergenRejectsUnknownDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "x.csv")
+	err := run([]string{"-dataset", "nope", "-out", out, "-gt", out + ".gt"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "unknown dataset") {
+		t.Fatalf("unknown dataset accepted: %v", err)
+	}
+}

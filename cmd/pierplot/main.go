@@ -10,6 +10,7 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -20,16 +21,26 @@ import (
 )
 
 func main() {
-	dir := flag.String("dir", ".", "directory containing pierbench curve CSVs")
-	prefix := flag.String("prefix", "", "file-name prefix selecting the series to plot (e.g. fig7-webdata-ED)")
-	xaxis := flag.String("x", "time", "x-axis: time (seconds) or cmps (comparisons)")
-	width := flag.Int("w", 72, "plot width in characters")
-	height := flag.Int("h", 18, "plot height in characters")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pierplot:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pierplot", flag.ContinueOnError)
+	dir := fs.String("dir", ".", "directory containing pierbench curve CSVs")
+	prefix := fs.String("prefix", "", "file-name prefix selecting the series to plot (e.g. fig7-webdata-ED)")
+	xaxis := fs.String("x", "time", "x-axis: time (seconds) or cmps (comparisons)")
+	width := fs.Int("w", 72, "plot width in characters")
+	height := fs.Int("h", 18, "plot height in characters")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	entries, err := os.ReadDir(*dir)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	var files []string
 	for _, e := range entries {
@@ -39,8 +50,7 @@ func main() {
 		}
 	}
 	if len(files) == 0 {
-		fmt.Fprintf(os.Stderr, "pierplot: no %q*.csv files in %s (run pierbench with -curves first)\n", *prefix, *dir)
-		os.Exit(1)
+		return fmt.Errorf("no %q*.csv files in %s (run pierbench with -curves first)", *prefix, *dir)
 	}
 	sort.Strings(files)
 
@@ -48,7 +58,7 @@ func main() {
 	for _, name := range files {
 		pts, err := readCurve(filepath.Join(*dir, name), *xaxis == "cmps")
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		label := strings.TrimSuffix(strings.TrimPrefix(name, *prefix), ".csv")
 		label = strings.Trim(label, "-_")
@@ -61,8 +71,9 @@ func main() {
 	if *xaxis == "cmps" {
 		xLabel = "comparisons"
 	}
-	fmt.Printf("PC over %s — %s (%d series)\n\n", xLabel, *prefix, len(series))
-	fmt.Print(plot.Render(series, *width, *height))
+	fmt.Fprintf(stdout, "PC over %s — %s (%d series)\n\n", xLabel, *prefix, len(series))
+	fmt.Fprint(stdout, plot.Render(series, *width, *height))
+	return nil
 }
 
 // readCurve parses one pierbench curve CSV (seconds,comparisons,found,pc).
@@ -75,7 +86,7 @@ func readCurve(path string, byCmps bool) ([]plot.Point, error) {
 	r := csv.NewReader(f)
 	recs, err := r.ReadAll()
 	if err != nil {
-		return nil, fmt.Errorf("pierplot: %s: %w", path, err)
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	var pts []plot.Point
 	for i, rec := range recs {
@@ -86,7 +97,7 @@ func readCurve(path string, byCmps bool) ([]plot.Point, error) {
 		c, err2 := strconv.ParseFloat(rec[1], 64)
 		y, err3 := strconv.ParseFloat(rec[3], 64)
 		if err1 != nil || err2 != nil || err3 != nil {
-			return nil, fmt.Errorf("pierplot: %s line %d: malformed row", path, i+1)
+			return nil, fmt.Errorf("%s line %d: malformed row", path, i+1)
 		}
 		if byCmps {
 			x = c
@@ -94,9 +105,4 @@ func readCurve(path string, byCmps bool) ([]plot.Point, error) {
 		pts = append(pts, plot.Point{X: x, Y: y})
 	}
 	return pts, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pierplot:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCurve(t *testing.T, path string, rows ...string) {
+	t.Helper()
+	content := "seconds,comparisons,found,pc\n" + strings.Join(rows, "\n") + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPierplotSmoke renders two series from a temp directory end to end.
+func TestPierplotSmoke(t *testing.T) {
+	dir := t.TempDir()
+	writeCurve(t, filepath.Join(dir, "fig7-da-IPCS.csv"),
+		"0.5,100,3,0.1", "1.0,250,12,0.4", "2.0,600,27,0.9")
+	writeCurve(t, filepath.Join(dir, "fig7-da-IPES.csv"),
+		"0.5,90,5,0.17", "1.0,240,20,0.66", "2.0,580,29,0.96")
+	writeCurve(t, filepath.Join(dir, "other-prefix.csv"), "1,1,1,1")
+
+	var stdout bytes.Buffer
+	if err := run([]string{"-dir", dir, "-prefix", "fig7-da", "-w", "40", "-h", "10"}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	got := stdout.String()
+	if !strings.Contains(got, "2 series") {
+		t.Fatalf("prefix filter failed, output header: %q", strings.SplitN(got, "\n", 2)[0])
+	}
+	for _, label := range []string{"IPCS", "IPES"} {
+		if !strings.Contains(got, label) {
+			t.Fatalf("series %s missing from plot:\n%s", label, got)
+		}
+	}
+
+	// The cmps axis must also render from the same files.
+	stdout.Reset()
+	if err := run([]string{"-dir", dir, "-prefix", "fig7-da", "-x", "cmps"}, &stdout); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "comparisons") {
+		t.Fatalf("cmps axis label missing:\n%s", stdout.String())
+	}
+}
+
+func TestPierplotErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-dir", dir, "-prefix", "none"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("empty directory accepted")
+	}
+	writeCurve(t, filepath.Join(dir, "bad.csv"), "not,a,number,row,x")
+	if err := os.WriteFile(filepath.Join(dir, "bad.csv"),
+		[]byte("seconds,comparisons,found,pc\na,b,c,d\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-dir", dir, "-prefix", "bad"}, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Fatalf("malformed curve accepted: %v", err)
+	}
+}

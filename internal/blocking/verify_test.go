@@ -1,0 +1,100 @@
+package blocking
+
+import (
+	"strings"
+	"testing"
+
+	"pier/internal/profile"
+)
+
+func verifyCollection(t *testing.T) *Collection {
+	t.Helper()
+	c := NewCollection(false, 0)
+	for i, vals := range []string{"alpha beta", "beta gamma", "alpha gamma delta"} {
+		c.Add(&profile.Profile{ID: i, Attributes: []profile.Attribute{{Name: "v", Value: vals}}})
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatalf("valid collection rejected: %v", err)
+	}
+	return c
+}
+
+// TestCollectionVerifyFiresOnCorruption proves each structural invariant can
+// fail: the mutations below break the collection's cross-index agreements
+// directly and Verify must catch every one.
+func TestCollectionVerifyFiresOnCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(c *Collection)
+		want    string
+	}{
+		{"unregistered member", func(c *Collection) {
+			b := c.blocks["beta"]
+			b.A = append(b.A, 99)
+		}, "unregistered profile"},
+		{"duplicate member", func(c *Collection) {
+			b := c.blocks["beta"]
+			b.A = append(b.A, b.A[0])
+		}, "twice"},
+		{"missing back-link", func(c *Collection) {
+			b := c.blocks["beta"]
+			b.A = append(b.A, 2) // profile 2 exists but does not index "beta"
+		}, "back-link"},
+		{"live and purged", func(c *Collection) {
+			c.purged["beta"] = struct{}{}
+		}, "both live and purged"},
+		{"stale ofProf membership", func(c *Collection) {
+			b := c.blocks["beta"]
+			b.A = b.A[:1] // drop a member while its ofProf entry stays
+		}, "not a member"},
+		{"oversized block", func(c *Collection) {
+			c.maxBlockSize = 1
+		}, "purge threshold"},
+		{"key mismatch", func(c *Collection) {
+			c.blocks["beta"].Key = "gamma"
+		}, "reports key"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := verifyCollection(t)
+			tc.corrupt(c)
+			err := c.Verify()
+			if err == nil {
+				t.Fatal("corrupted collection accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("wrong violation reported: %v", err)
+			}
+		})
+	}
+}
+
+func TestVerifyGhost(t *testing.T) {
+	mk := func(sizes ...int) []*Block {
+		out := make([]*Block, len(sizes))
+		id := 0
+		for i, s := range sizes {
+			b := &Block{Key: string(rune('a' + i))}
+			for j := 0; j < s; j++ {
+				b.A = append(b.A, id)
+				id++
+			}
+			out[i] = b
+		}
+		return out
+	}
+	in := mk(2, 4, 20)
+	kept := Ghost(in, 0.2) // limit = 2/0.2 = 10: drops the 20-block
+	if err := VerifyGhost(in, kept, 0.2); err != nil {
+		t.Fatalf("correct ghosting rejected: %v", err)
+	}
+	if err := VerifyGhost(in, in, 0.2); err == nil {
+		t.Fatal("ghosting that kept an oversized block accepted")
+	}
+	if err := VerifyGhost(in, kept[:1], 0.2); err == nil {
+		t.Fatal("ghosting that dropped a within-limit block accepted")
+	}
+	if err := VerifyGhost(in, in, 0); err != nil {
+		t.Fatalf("beta<=0 must disable the check: %v", err)
+	}
+}

@@ -1,0 +1,49 @@
+package check
+
+import (
+	"testing"
+
+	"pier/internal/dataset"
+)
+
+// harnessDatasets are the seeded workloads of the acceptance matrix: one per
+// generator family, covering Clean-Clean heterogeneous, Clean-Clean moderate,
+// and Dirty short-record data at laptop-test scale.
+func harnessDatasets(t testing.TB) []*dataset.Dataset {
+	t.Helper()
+	return []*dataset.Dataset{
+		dataset.DA(0.02, 1),
+		dataset.Movies(0.002, 2),
+		dataset.Census(0.00004, 3),
+	}
+}
+
+// TestOracleBattery is the acceptance matrix: every oracle for every strategy
+// at k ∈ {1,2,5,10} and parallelism ∈ {1,4} over three seeded datasets.
+func TestOracleBattery(t *testing.T) {
+	splits := []int{1, 2, 5, 10}
+	parallelism := []int{1, 4}
+	for _, ds := range harnessDatasets(t) {
+		ds := ds
+		t.Run(ds.Name, func(t *testing.T) {
+			t.Parallel()
+			if err := Battery(ds, splits, parallelism); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRandomizedSeeds runs the shrinking seeded driver over a fixed seed
+// range; any failure reports a one-line reproduction.
+func TestRandomizedSeeds(t *testing.T) {
+	seeds := []int64{7, 11, 23, 101, 9001}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		if err := CheckSeed(seed); err != nil {
+			t.Error(err)
+		}
+	}
+}

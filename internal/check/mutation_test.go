@@ -1,0 +1,214 @@
+package check
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pier/internal/blocking"
+	"pier/internal/core"
+	"pier/internal/dataset"
+	"pier/internal/metablocking"
+	"pier/internal/profile"
+)
+
+// The tests in this file prove the harness can fail: each oracle is run
+// against a deliberately broken strategy and must report the defect. An
+// oracle that cannot fire on an injected mutation verifies nothing.
+
+func mutDataset() *dataset.Dataset { return dataset.DA(0.01, 5) }
+
+// dropNth wraps a strategy and silently swallows the n-th dequeued
+// comparison — the pair is marked executed inside the inner strategy but
+// never reaches the matcher, modeling lost work.
+type dropNth struct {
+	core.Strategy
+	n, seen int
+}
+
+func (m *dropNth) Dequeue() (metablocking.Comparison, bool) {
+	c, ok := m.Strategy.Dequeue()
+	if !ok {
+		return c, ok
+	}
+	m.seen++
+	if m.seen == m.n {
+		return m.Strategy.Dequeue()
+	}
+	return c, ok
+}
+
+// splitSensitive drops one comparison only once a second data increment has
+// been ingested, so single-increment and multi-increment runs diverge.
+type splitSensitive struct {
+	core.Strategy
+	updates int
+	dropped bool
+}
+
+func (m *splitSensitive) UpdateIndex(col *blocking.Collection, delta []*profile.Profile) time.Duration {
+	if len(delta) > 0 {
+		m.updates++
+	}
+	return m.Strategy.UpdateIndex(col, delta)
+}
+
+func (m *splitSensitive) Dequeue() (metablocking.Comparison, bool) {
+	c, ok := m.Strategy.Dequeue()
+	if ok && m.updates >= 2 && !m.dropped {
+		m.dropped = true
+		return m.Strategy.Dequeue()
+	}
+	return c, ok
+}
+
+// weightSkew shifts every emitted weight by the number of data increments
+// seen, corrupting the trace differently per split.
+type weightSkew struct {
+	core.Strategy
+	updates int
+}
+
+func (m *weightSkew) UpdateIndex(col *blocking.Collection, delta []*profile.Profile) time.Duration {
+	if len(delta) > 0 {
+		m.updates++
+	}
+	return m.Strategy.UpdateIndex(col, delta)
+}
+
+func (m *weightSkew) Dequeue() (metablocking.Comparison, bool) {
+	c, ok := m.Strategy.Dequeue()
+	if ok {
+		c.Weight += float64(m.updates)
+	}
+	return c, ok
+}
+
+// orderSensitive drops one comparison as soon as an increment arrives whose
+// first profile is not its smallest ID — true only for permuted
+// within-increment orders, never for stream order.
+type orderSensitive struct {
+	core.Strategy
+	drop    bool
+	dropped bool
+}
+
+func (m *orderSensitive) UpdateIndex(col *blocking.Collection, delta []*profile.Profile) time.Duration {
+	if len(delta) > 0 {
+		min := delta[0].ID
+		for _, p := range delta {
+			if p.ID < min {
+				min = p.ID
+			}
+		}
+		if delta[0].ID != min {
+			m.drop = true
+		}
+	}
+	return m.Strategy.UpdateIndex(col, delta)
+}
+
+func (m *orderSensitive) Dequeue() (metablocking.Comparison, bool) {
+	c, ok := m.Strategy.Dequeue()
+	if ok && m.drop && !m.dropped {
+		m.dropped = true
+		return m.Strategy.Dequeue()
+	}
+	return c, ok
+}
+
+func TestBruteForceFiresOnDroppedComparison(t *testing.T) {
+	ds := mutDataset()
+	cfg := CoreConfig()
+	err := BruteForce(&dropNth{Strategy: core.NewIPCS(cfg), n: 10}, ds.CleanClean, ds.Increments(2))
+	if err == nil {
+		t.Fatal("BruteForce accepted a strategy that drops a comparison")
+	}
+	if !strings.Contains(err.Error(), "diverge") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestDifferentialFiresOnDroppedComparison(t *testing.T) {
+	ds := mutDataset()
+	cfg := CoreConfig()
+	err := Differential(&dropNth{Strategy: core.NewIPES(cfg), n: 7}, NewBatchReference(cfg), ds.CleanClean, ds.Increments(2))
+	if err == nil {
+		t.Fatal("Differential accepted a strategy that drops a comparison")
+	}
+}
+
+func TestSplitInvarianceFiresOnSplitSensitiveStrategy(t *testing.T) {
+	ds := mutDataset()
+	cfg := CoreConfig()
+	mk := func() core.Strategy { return &splitSensitive{Strategy: core.NewIPCS(cfg)} }
+	err := SplitInvariance(mk, ds, []int{1, 2, 5, 10})
+	if err == nil {
+		t.Fatal("SplitInvariance accepted a strategy whose output depends on increment cuts")
+	}
+}
+
+func TestIngestInvarianceFiresOnWeightSkew(t *testing.T) {
+	ds := mutDataset()
+	cfg := CoreConfig()
+	mk := func() core.Strategy { return &weightSkew{Strategy: core.NewIPCS(cfg)} }
+	err := IngestInvariance(mk, ds, []int{1, 2, 5})
+	if err == nil {
+		t.Fatal("IngestInvariance accepted a strategy whose weights depend on increment cuts")
+	}
+	if !strings.Contains(err.Error(), "diverge") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestPermutationInvarianceFiresOnOrderSensitiveStrategy(t *testing.T) {
+	ds := mutDataset()
+	cfg := CoreConfig()
+	mk := func() core.Strategy { return &orderSensitive{Strategy: core.NewIPCS(cfg)} }
+	err := PermutationInvariance(mk, ds, 5, 1)
+	if err == nil {
+		t.Fatal("PermutationInvariance accepted a strategy sensitive to within-increment order")
+	}
+}
+
+func TestShrinkPrefixMinimizesFailure(t *testing.T) {
+	ds := mutDataset()
+	cfg := CoreConfig()
+	// A strategy that drops the comparison of one specific early pair keeps
+	// failing for every prefix long enough to contain the pair, so the
+	// shrinker must walk the workload down far below its full size.
+	fail := func(d *dataset.Dataset) error {
+		return BruteForce(&dropNth{Strategy: core.NewIPCS(cfg), n: 1}, d.CleanClean, d.Increments(1))
+	}
+	n, err := ShrinkPrefix(ds, fail)
+	if err == nil {
+		t.Fatal("ShrinkPrefix lost the failure while shrinking")
+	}
+	if n >= len(ds.Profiles) {
+		t.Fatalf("ShrinkPrefix did not shrink: %d of %d profiles", n, len(ds.Profiles))
+	}
+	// The reported prefix must actually fail — that is the shrinker's contract.
+	if e := fail(Prefix(ds, n)); e == nil {
+		t.Fatalf("reported minimal prefix %d does not fail", n)
+	}
+}
+
+// TestRegressionIPESFallbackPruning pins the divergence the harness found on
+// its first run: I-PES routed drain-time leftover comparisons through its
+// double pruning, so insert() could discard a pair from the last block the
+// fallback scan would ever visit — the pair was then never executed. On the
+// movies workload below, the k=1 run permanently lost the pair (20, 83) that
+// every k>1 run executed. Leftovers now bypass the pruning (see
+// IPES.UpdateIndex); this test locks both the set-level split invariance and
+// full completeness of the fixed strategy on that exact workload.
+func TestRegressionIPESFallbackPruning(t *testing.T) {
+	ds := dataset.Movies(0.002, 2)
+	cfg := CoreConfig()
+	mk := func() core.Strategy { return core.NewIPES(cfg) }
+	if err := SplitInvariance(mk, ds, []int{1, 2}); err != nil {
+		t.Fatalf("I-PES split invariance regressed: %v", err)
+	}
+	if err := BruteForce(mk(), ds.CleanClean, ds.Increments(1)); err != nil {
+		t.Fatalf("I-PES completeness regressed: %v", err)
+	}
+}

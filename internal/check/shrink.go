@@ -1,0 +1,84 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pier/internal/dataset"
+	"pier/internal/profile"
+)
+
+// RandomDataset derives a small synthetic workload deterministically from a
+// single integer: the seed selects the generator family (bibliographic
+// Clean-Clean, movie Clean-Clean, or census Dirty), the scale, and the data
+// RNG stream. A failing seed therefore reproduces the exact workload with one
+// call — no corpus files, no saved state.
+func RandomDataset(seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	switch rng.Intn(3) {
+	case 0:
+		return dataset.DA(0.004+rng.Float64()*0.012, seed)
+	case 1:
+		return dataset.Movies(0.0005+rng.Float64()*0.0015, seed)
+	default:
+		return dataset.Census(0.00002+rng.Float64()*0.00002, seed)
+	}
+}
+
+// Prefix returns the workload truncated to its first n stream profiles.
+// Profile IDs are assigned in stream order, so a prefix is itself a valid
+// workload; ground truth is dropped (the oracles do not use it).
+func Prefix(ds *dataset.Dataset, n int) *dataset.Dataset {
+	if n > len(ds.Profiles) {
+		n = len(ds.Profiles)
+	}
+	return &dataset.Dataset{
+		Name:       fmt.Sprintf("%s[:%d]", ds.Name, n),
+		CleanClean: ds.CleanClean,
+		Profiles:   ds.Profiles[:n],
+	}
+}
+
+// ShrinkPrefix minimizes a failing workload: given that fail returns non-nil
+// for the full dataset, it greedily shortens the stream prefix by halving
+// step sizes and returns the smallest still-failing prefix length with its
+// error. Shrinking is best-effort (failures need not be monotonic in prefix
+// length); the result is guaranteed to fail, not to be globally minimal.
+func ShrinkPrefix(ds *dataset.Dataset, fail func(*dataset.Dataset) error) (int, error) {
+	n := len(ds.Profiles)
+	err := fail(ds)
+	if err == nil {
+		return n, nil
+	}
+	for step := n / 2; step >= 1; step /= 2 {
+		for n-step >= 1 {
+			if e := fail(Prefix(ds, n-step)); e != nil {
+				n, err = n-step, e
+			} else {
+				break
+			}
+		}
+	}
+	return n, err
+}
+
+// CheckSeed runs the full oracle battery on the workload derived from seed at
+// the canonical split and parallelism matrix. On failure it shrinks the
+// workload and returns an error embedding the one-line reproduction:
+// RandomDataset(seed) truncated to the reported prefix.
+func CheckSeed(seed int64) error {
+	splits := []int{1, 2, 5, 10}
+	parallelism := []int{1, 4}
+	ds := RandomDataset(seed)
+	run := func(d *dataset.Dataset) error { return Battery(d, splits, parallelism) }
+	if err := run(ds); err == nil {
+		return nil
+	}
+	n, err := ShrinkPrefix(ds, run)
+	return fmt.Errorf("check: seed %d failed; repro: Battery(Prefix(RandomDataset(%d), %d), %v, %v): %w",
+		seed, seed, n, splits, parallelism, err)
+}
+
+// profilesOf is a convenience for tests that need the raw stream of a
+// workload as one increment.
+func profilesOf(ds *dataset.Dataset) [][]*profile.Profile { return ds.Increments(1) }

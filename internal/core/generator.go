@@ -40,10 +40,13 @@ type generator struct {
 	genSec *obsv.Histogram
 
 	// executed records pairs handed to the matcher, so fallback scans
-	// never re-emit work that was already done. A scalable Bloom filter
-	// keeps it constant-memory-per-pair; false positives only suppress a
-	// leftover comparison, never corrupt results.
-	executed *bloom.Filter
+	// never re-emit work that was already done. By default a scalable
+	// Bloom filter keeps it constant-memory-per-pair, but a false positive
+	// suppresses a leftover comparison that was never executed — the pair
+	// is silently lost. Config.ExactFilters substitutes an exact set when
+	// that loss is unacceptable (see the batch↔incremental oracles in
+	// internal/check).
+	executed bloom.Membership
 
 	// weigher is the reusable per-pair CBS weigher of the fallback path;
 	// only the (serial) fallback scan touches it.
@@ -59,7 +62,7 @@ func newGenerator(cfg Config) *generator {
 	g := &generator{
 		cfg:      cfg,
 		pool:     pool.New(cfg.Parallelism),
-		executed: bloom.New(1<<16, 0.001),
+		executed: newPairFilter(cfg),
 	}
 	if cfg.Metrics != nil {
 		g.pool.Instrument(
@@ -124,6 +127,16 @@ func (g *generator) candidates(col *blocking.Collection, delta []*profile.Profil
 		g.genSec.Observe(time.Since(t0).Seconds())
 	}
 	return out, cost
+}
+
+// newPairFilter builds the pair-membership filter the configuration asks
+// for: a constant-memory scalable Bloom filter by default, an exact set under
+// Config.ExactFilters.
+func newPairFilter(cfg Config) bloom.Membership {
+	if cfg.ExactFilters {
+		return bloom.NewExact()
+	}
+	return bloom.New(1<<16, 0.001)
 }
 
 // markExecuted records that the pair was dequeued for matching.

@@ -45,7 +45,10 @@ type IPBS struct {
 	// invalidation: stale entries are skipped when popped.
 	minHeap *queue.Heap[ciEntry]
 
-	cf *bloom.Filter
+	// cf suppresses redundant pair generation; an exact set under
+	// Config.ExactFilters, since a Bloom false positive here permanently
+	// drops a never-generated comparison.
+	cf bloom.Membership
 
 	// weigher is the reusable per-pair CBS weigher of emitBlock; I-PBS is
 	// single-writer, so one scratch instance per strategy suffices.
@@ -72,7 +75,7 @@ func NewIPBS(cfg Config) *IPBS {
 		ci:      make(map[string]int),
 		pi:      make(map[string][]int),
 		minHeap: queue.NewHeap(ciLess),
-		cf:      bloom.New(1<<16, 0.001),
+		cf:      newPairFilter(cfg),
 	}
 }
 
@@ -86,6 +89,9 @@ func (s *IPBS) Name() string { return "I-PBS" }
 // unexecuted comparisons into the index, tagged with ⟨|b_min|, w(c)⟩, and
 // deactivate b_min.
 func (s *IPBS) UpdateIndex(col *blocking.Collection, delta []*profile.Profile) time.Duration {
+	if s.cfg.CheckInvariants {
+		defer s.verify()
+	}
 	var cost time.Duration
 	for _, p := range delta {
 		for _, b := range col.BlocksOf(p.ID) {

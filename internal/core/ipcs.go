@@ -36,6 +36,9 @@ func (s *IPCS) Name() string { return "I-PCS" }
 // are empty — pull leftover comparisons from the block collection via
 // GetComparisons, then enqueue everything into the bounded priority queue.
 func (s *IPCS) UpdateIndex(col *blocking.Collection, delta []*profile.Profile) time.Duration {
+	if s.gen.cfg.CheckInvariants {
+		defer s.verify()
+	}
 	cmpList, cost := s.gen.candidates(col, delta)
 	if len(delta) == 0 && s.index.Len() == 0 {
 		var extra time.Duration

@@ -82,11 +82,29 @@ func (s *IPES) Name() string { return "I-PES" }
 // comparison into the entity index, the entity queue, or the low-weight
 // queue according to lines 1–14.
 func (s *IPES) UpdateIndex(col *blocking.Collection, delta []*profile.Profile) time.Duration {
+	if s.cfg.CheckInvariants {
+		defer s.verify()
+	}
 	cmpList, cost := s.gen.candidates(col, delta)
 	if len(delta) == 0 && s.indexEmpty() {
 		var extra time.Duration
 		cmpList, extra = s.gen.fallbackScan(col)
 		cost += extra
+		// Leftovers bypass the double pruning and go straight to the
+		// low-weight queue PQ. Routing them through route() can lose work
+		// permanently: insert() discards a comparison whose weight is at or
+		// below its entity's average, and the fallback scan visits each
+		// block once per collection version — a pair discarded from its
+		// last unscanned block is never generated again (found by the
+		// internal/check oracles; see DESIGN.md). Pruning exists to triage
+		// *fresh* candidates; by the time the scan runs, the index is empty
+		// and these comparisons are the only remaining work.
+		for _, c := range cmpList {
+			if _, dropped := s.pq.Push(c); !dropped {
+				s.pending++
+			}
+		}
+		return cost
 	}
 	for _, c := range cmpList {
 		s.route(c)

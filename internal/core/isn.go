@@ -70,6 +70,9 @@ func (s *ISN) Name() string { return "I-SN" }
 // UpdateIndex implements Strategy: index the increment's tokens, harvest
 // window neighborhoods into weighted candidates, prune with I-WNP, enqueue.
 func (s *ISN) UpdateIndex(col *blocking.Collection, delta []*profile.Profile) time.Duration {
+	if s.cfg.CheckInvariants {
+		defer s.verify()
+	}
 	var cost time.Duration
 	for _, p := range delta {
 		partners := make(map[int]float64)

@@ -73,6 +73,21 @@ type Config struct {
 	// worker-pool instruments in (busy-workers gauge, task counter, stage
 	// timers). Nil disables instrumentation.
 	Metrics *obsv.Registry
+	// ExactFilters replaces the strategies' scalable Bloom filters (the
+	// executed-pair filter of the fallback scan, I-PBS's comparison filter
+	// CF) with exact sets. Bloom false positives can silently *lose* a
+	// comparison that was never executed; exact filters guarantee the
+	// batch↔incremental equivalence the correctness harness
+	// (internal/check) asserts, at the cost of memory linear in the number
+	// of filtered pairs instead of constant.
+	ExactFilters bool
+	// CheckInvariants enables per-update self-verification of the
+	// strategies' index structures (interval-heap order, I-PES pending
+	// accounting, I-PBS CI/PI agreement). Violations panic with a
+	// description. The checks cost O(index size) per UpdateIndex, so they
+	// are for tests, debugging, and canary deployments, not steady-state
+	// production.
+	CheckInvariants bool
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.

@@ -1,0 +1,71 @@
+package core
+
+import "fmt"
+
+// Self-verification of the strategies' index structures, run after every
+// UpdateIndex when Config.CheckInvariants is set. A violation panics: by the
+// Strategy contract the index is single-writer, so a broken invariant means a
+// bug in the strategy itself, not bad input, and continuing would silently
+// corrupt prioritization order.
+
+// verify checks I-PCS's single bounded queue: interval-heap order and the
+// capacity bound.
+func (s *IPCS) verify() {
+	if err := s.index.Verify(); err != nil {
+		panic(fmt.Sprintf("core: I-PCS index invariant violated: %v", err))
+	}
+}
+
+// verify checks I-PBS's paired block indexes: CI and PI must track exactly
+// the same active blocks, CI counts must be non-negative (a singleton block
+// legitimately contributes 0), PI lists must be non-empty, and both the
+// comparison queue and the lazy min-heap must satisfy their heap orders.
+func (s *IPBS) verify() {
+	if len(s.ci) != len(s.pi) {
+		panic(fmt.Sprintf("core: I-PBS CI tracks %d blocks but PI %d", len(s.ci), len(s.pi)))
+	}
+	for key, count := range s.ci {
+		if count < 0 {
+			panic(fmt.Sprintf("core: I-PBS CI count for block %q is negative: %d", key, count))
+		}
+		if len(s.pi[key]) == 0 {
+			panic(fmt.Sprintf("core: I-PBS block %q active in CI but has no PI profiles", key))
+		}
+	}
+	if err := s.index.Verify(); err != nil {
+		panic(fmt.Sprintf("core: I-PBS index invariant violated: %v", err))
+	}
+	if err := s.minHeap.Verify(); err != nil {
+		panic(fmt.Sprintf("core: I-PBS min-heap invariant violated: %v", err))
+	}
+}
+
+// verify checks I-SN's single bounded queue, as for I-PCS.
+func (s *ISN) verify() {
+	if err := s.queue.Verify(); err != nil {
+		panic(fmt.Sprintf("core: I-SN index invariant violated: %v", err))
+	}
+}
+
+// verify checks I-PES's triple index: the pending counter must equal the
+// comparisons actually held across E_PQ and PQ (the counter gates the
+// fallback scan, so drift either starves or floods the matcher), and every
+// queue must satisfy its heap order.
+func (s *IPES) verify() {
+	held := s.pq.Len()
+	for id, st := range s.epq {
+		if err := st.q.Verify(); err != nil {
+			panic(fmt.Sprintf("core: I-PES entity %d queue invariant violated: %v", id, err))
+		}
+		held += st.q.Len()
+	}
+	if held != s.pending {
+		panic(fmt.Sprintf("core: I-PES pending counter %d but %d comparisons held in E_PQ+PQ", s.pending, held))
+	}
+	if err := s.pq.Verify(); err != nil {
+		panic(fmt.Sprintf("core: I-PES PQ invariant violated: %v", err))
+	}
+	if err := s.entityQueue.Verify(); err != nil {
+		panic(fmt.Sprintf("core: I-PES entity queue invariant violated: %v", err))
+	}
+}

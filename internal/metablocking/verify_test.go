@@ -1,0 +1,61 @@
+package metablocking
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerifyDescending(t *testing.T) {
+	good := []Comparison{
+		{X: 0, Y: 3, Weight: 5},
+		{X: 0, Y: 2, Weight: 3},
+		{X: 0, Y: 1, Weight: 3}, // tie broken by key order
+		{X: 4, Y: 5, Weight: 1},
+	}
+	if Less(good[1], good[2]) {
+		good[1], good[2] = good[2], good[1]
+	}
+	if err := VerifyDescending(good); err != nil {
+		t.Fatalf("descending list rejected: %v", err)
+	}
+	bad := []Comparison{{X: 0, Y: 1, Weight: 1}, {X: 0, Y: 2, Weight: 9}}
+	if err := VerifyDescending(bad); err == nil {
+		t.Fatal("ascending list accepted")
+	}
+}
+
+func TestVerifyPrunedAcceptsIWNP(t *testing.T) {
+	in := []Comparison{
+		{X: 0, Y: 1, Weight: 1},
+		{X: 0, Y: 2, Weight: 2},
+		{X: 0, Y: 3, Weight: 3},
+		{X: 0, Y: 4, Weight: 10},
+	}
+	// IWNP reuses the input slice, so hand it a copy and keep in intact.
+	kept := IWNP(append([]Comparison(nil), in...))
+	if err := VerifyPruned(in, kept); err != nil {
+		t.Fatalf("IWNP output rejected: %v", err)
+	}
+	if err := VerifyPruned(nil, nil); err != nil {
+		t.Fatalf("empty pruning rejected: %v", err)
+	}
+}
+
+// TestVerifyPrunedFiresOnViolations proves the weight-monotonicity check can
+// fail in each direction.
+func TestVerifyPrunedFiresOnViolations(t *testing.T) {
+	in := []Comparison{
+		{X: 0, Y: 1, Weight: 1},
+		{X: 0, Y: 2, Weight: 5},
+		{X: 0, Y: 3, Weight: 9},
+	} // mean = 5
+	if err := VerifyPruned(in, []Comparison{in[0]}); err == nil || !strings.Contains(err.Error(), "kept") {
+		t.Fatalf("kept-below-mean not reported: %v", err)
+	}
+	if err := VerifyPruned(in, []Comparison{in[2]}); err == nil || !strings.Contains(err.Error(), "dropped") {
+		t.Fatalf("dropped-above-mean not reported: %v", err)
+	}
+	if err := VerifyPruned(nil, []Comparison{in[0]}); err == nil {
+		t.Fatal("comparisons invented from an empty list accepted")
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !pierdebug
+
+package queue
+
+// debugChecks gates the per-operation interval-heap self-verification. The
+// default build compiles the checks out entirely; `go test -tags pierdebug`
+// turns every Push/PopMin/PopMax into a verified operation that panics on the
+// first structural violation (see verify.go).
+const debugChecks = false

@@ -1,0 +1,6 @@
+//go:build pierdebug
+
+package queue
+
+// debugChecks enables O(n) self-verification after every DEPQ mutation.
+const debugChecks = true

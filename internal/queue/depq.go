@@ -51,6 +51,9 @@ func (q *DEPQ[T]) Max() (T, bool) {
 
 // Push inserts x.
 func (q *DEPQ[T]) Push(x T) {
+	if debugChecks {
+		defer q.mustVerify("Push")
+	}
 	q.a = append(q.a, x)
 	i := len(q.a) - 1
 	if i == 0 {
@@ -81,6 +84,9 @@ func (q *DEPQ[T]) Push(x T) {
 
 // PopMin removes and returns the least element.
 func (q *DEPQ[T]) PopMin() (T, bool) {
+	if debugChecks {
+		defer q.mustVerify("PopMin")
+	}
 	n := len(q.a)
 	if n == 0 {
 		var zero T
@@ -99,6 +105,9 @@ func (q *DEPQ[T]) PopMin() (T, bool) {
 
 // PopMax removes and returns the greatest element.
 func (q *DEPQ[T]) PopMax() (T, bool) {
+	if debugChecks {
+		defer q.mustVerify("PopMax")
+	}
 	n := len(q.a)
 	var zero T
 	switch n {

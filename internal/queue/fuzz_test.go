@@ -1,0 +1,115 @@
+package queue
+
+import (
+	"sort"
+	"testing"
+)
+
+// refModel is the reference double-ended priority queue: a sorted slice. Its
+// behavior is trivially correct; the fuzz targets check the interval heap
+// against it operation by operation.
+type refModel struct{ a []int }
+
+func (r *refModel) push(v int) {
+	i := sort.SearchInts(r.a, v)
+	r.a = append(r.a, 0)
+	copy(r.a[i+1:], r.a[i:])
+	r.a[i] = v
+}
+
+func (r *refModel) popMin() (int, bool) {
+	if len(r.a) == 0 {
+		return 0, false
+	}
+	v := r.a[0]
+	r.a = r.a[1:]
+	return v, true
+}
+
+func (r *refModel) popMax() (int, bool) {
+	if len(r.a) == 0 {
+		return 0, false
+	}
+	v := r.a[len(r.a)-1]
+	r.a = r.a[:len(r.a)-1]
+	return v, true
+}
+
+// FuzzIntervalHeap drives the DEPQ with an arbitrary operation sequence
+// decoded from the fuzz input and checks every result and every intermediate
+// structure against the sorted-slice reference model.
+func FuzzIntervalHeap(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 5, 1, 2})
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 2, 2, 1, 1})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		q := NewDEPQ(intLess)
+		ref := &refModel{}
+		for i := 0; i < len(ops); i++ {
+			switch ops[i] % 3 {
+			case 0: // push next byte's value
+				i++
+				if i >= len(ops) {
+					break
+				}
+				v := int(ops[i])
+				q.Push(v)
+				ref.push(v)
+			case 1:
+				got, gotOK := q.PopMin()
+				want, wantOK := ref.popMin()
+				if gotOK != wantOK || got != want {
+					t.Fatalf("PopMin = (%d, %v), reference says (%d, %v)", got, gotOK, want, wantOK)
+				}
+			case 2:
+				got, gotOK := q.PopMax()
+				want, wantOK := ref.popMax()
+				if gotOK != wantOK || got != want {
+					t.Fatalf("PopMax = (%d, %v), reference says (%d, %v)", got, gotOK, want, wantOK)
+				}
+			}
+			if q.Len() != len(ref.a) {
+				t.Fatalf("Len = %d, reference has %d", q.Len(), len(ref.a))
+			}
+			if err := q.Verify(); err != nil {
+				t.Fatalf("invariant violated after op %d: %v", i, err)
+			}
+			if min, ok := q.Min(); ok && min != ref.a[0] {
+				t.Fatalf("Min = %d, reference says %d", min, ref.a[0])
+			}
+			if max, ok := q.Max(); ok && max != ref.a[len(ref.a)-1] {
+				t.Fatalf("Max = %d, reference says %d", max, ref.a[len(ref.a)-1])
+			}
+		}
+	})
+}
+
+// FuzzBounded checks the bounded best-first queue against the reference: a
+// full queue must keep exactly the best capacity elements.
+func FuzzBounded(f *testing.F) {
+	f.Add(uint8(4), []byte{9, 1, 5, 7, 3, 8})
+	f.Fuzz(func(t *testing.T, capacity uint8, values []byte) {
+		cap := int(capacity%16) + 1
+		b := NewBounded(cap, intLess)
+		ref := &refModel{}
+		for _, v := range values {
+			b.Push(int(v))
+			ref.push(int(v))
+			if len(ref.a) > cap {
+				ref.a = ref.a[len(ref.a)-cap:] // keep the best cap values
+			}
+			if err := b.Verify(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for {
+			got, gotOK := b.PopBest()
+			want, wantOK := ref.popMax()
+			if gotOK != wantOK || got != want {
+				t.Fatalf("PopBest = (%d, %v), reference says (%d, %v)", got, gotOK, want, wantOK)
+			}
+			if !gotOK {
+				return
+			}
+		}
+	})
+}

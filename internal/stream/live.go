@@ -2,6 +2,7 @@ package stream
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -65,6 +66,13 @@ type LiveConfig struct {
 	// instruments in — share one registry to expose several pipelines on
 	// one endpoint. Nil creates a private registry (see Live.Registry).
 	Metrics *obsv.Registry
+	// CheckInvariants enables per-batch self-verification of the pipeline's
+	// accounting: the dedup map never exceeds the executed-comparison
+	// counter (and matches it exactly when no Window pruning runs), matches
+	// never exceed comparisons, and the final LiveResult agrees with the
+	// live Stats() counters. Violations panic. Intended for tests and
+	// debugging; the checks are O(1) per batch.
+	CheckInvariants bool
 }
 
 // LiveResult summarizes a live pipeline run.
@@ -400,6 +408,9 @@ func (l *Live) loop() {
 		}
 		l.m.pending.Set(int64(l.strategy.Pending()))
 		l.m.dedup.Set(int64(len(executed)))
+		if l.cfg.CheckInvariants {
+			l.verifyAccounting(executed)
+		}
 	}
 
 	open := true
@@ -438,7 +449,37 @@ func (l *Live) loop() {
 	res.Clusters = clusters.Clusters(2)
 	res.Elapsed = time.Since(start)
 	res.Curve = rec.Finish(res.Elapsed)
+	if l.cfg.CheckInvariants {
+		l.verifyAccounting(executed)
+		if c, m := l.Stats(); res.Comparisons != c || res.Matches != m {
+			panic(fmt.Sprintf("stream: LiveResult (%d cmps, %d matches) disagrees with Stats() (%d, %d)",
+				res.Comparisons, res.Matches, c, m))
+		}
+	}
 	l.result = res
+}
+
+// verifyAccounting checks the pipeline's dedup/counter invariants between
+// batches (LiveConfig.CheckInvariants). It runs on the pipeline goroutine, so
+// the dedup map and the counters are mutually consistent at the call point.
+func (l *Live) verifyAccounting(executed map[uint64]struct{}) {
+	cmps := int(l.m.cmps.Value())
+	matches := int(l.m.matches.Value())
+	if matches > cmps {
+		panic(fmt.Sprintf("stream: %d matches exceed %d comparisons", matches, cmps))
+	}
+	// Every dedup entry was counted exactly once; pruning under Window only
+	// ever removes entries, so the map can fall below the counter but never
+	// above it — and with pruning disabled the two are equal.
+	if len(executed) > cmps {
+		panic(fmt.Sprintf("stream: dedup map holds %d pairs but only %d comparisons were counted", len(executed), cmps))
+	}
+	if l.cfg.Window <= 0 && len(executed) != cmps {
+		panic(fmt.Sprintf("stream: dedup map holds %d pairs but %d comparisons were counted (no pruning active)", len(executed), cmps))
+	}
+	if g := int(l.m.dedup.Value()); g != len(executed) {
+		panic(fmt.Sprintf("stream: dedup gauge %d disagrees with map size %d", g, len(executed)))
+	}
 }
 
 // Drive pushes the dataset increments into a live pipeline at the given rate

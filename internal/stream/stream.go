@@ -15,6 +15,7 @@ import (
 	"pier/internal/blocking"
 	"pier/internal/core"
 	"pier/internal/match"
+	"pier/internal/metablocking"
 	"pier/internal/metrics"
 	"pier/internal/profile"
 )
@@ -67,6 +68,11 @@ type Config struct {
 	SampleEvery int
 	// TickCost is the fixed overhead charged for an empty-increment tick.
 	TickCost time.Duration
+	// OnExecuted, if set, is invoked for every distinct comparison the
+	// matcher actually executes, in execution order, after profile
+	// resolution. The correctness harness (internal/check) uses it to
+	// capture the run's emission trace; nil disables tracing.
+	OnExecuted func(c metablocking.Comparison)
 }
 
 // DefaultMaxBlockSize is the block-purging threshold used across the
@@ -182,6 +188,9 @@ func Run(strategy core.Strategy, incs []Increment, cfg Config) *Result {
 			px, py := col.Profile(c.X), col.Profile(c.Y)
 			if px == nil || py == nil {
 				continue
+			}
+			if cfg.OnExecuted != nil {
+				cfg.OnExecuted(c)
 			}
 			cost := cfg.Costs.Compare(cfg.Matcher.Kind, px, py)
 			now += cost

@@ -1,0 +1,79 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+
+	"pier/internal/core"
+	"pier/internal/dataset"
+	"pier/internal/match"
+	"pier/internal/obsv"
+)
+
+// TestLiveCheckInvariantsCleanRun drives a full live pipeline with invariant
+// checking enabled: any accounting drift panics the pipeline goroutine and
+// fails the test loudly.
+func TestLiveCheckInvariantsCleanRun(t *testing.T) {
+	ds := dataset.DA(0.05, 9)
+	cfg := core.DefaultConfig()
+	cfg.CheckInvariants = true
+	l := LiveRun(core.NewIPES(cfg), LiveConfig{
+		CleanClean:      true,
+		Matcher:         match.NewMatcher(match.JS),
+		CheckInvariants: true,
+	})
+	for _, inc := range ds.Increments(5) {
+		l.Push(inc)
+	}
+	res := l.Stop()
+	if c, m := l.Stats(); res.Comparisons != c || res.Matches != m {
+		t.Fatalf("LiveResult (%d, %d) disagrees with Stats() (%d, %d)", res.Comparisons, res.Matches, c, m)
+	}
+}
+
+// TestVerifyAccountingFiresOnDrift proves the live accounting checks can
+// fail: each case feeds verifyAccounting a counter/map state that a correct
+// pipeline can never reach.
+func TestVerifyAccountingFiresOnDrift(t *testing.T) {
+	mkLive := func(window int) *Live {
+		return &Live{
+			cfg: LiveConfig{CheckInvariants: true, Window: window},
+			m:   newLiveMetrics(obsv.NewRegistry()),
+		}
+	}
+	expectPanic := func(t *testing.T, want string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("verifyAccounting accepted inconsistent state")
+			}
+			if !strings.Contains(r.(string), want) {
+				t.Fatalf("wrong violation reported: %v", r)
+			}
+		}()
+		fn()
+	}
+
+	t.Run("matches exceed comparisons", func(t *testing.T) {
+		l := mkLive(0)
+		l.m.matches.Inc()
+		expectPanic(t, "matches exceed", func() { l.verifyAccounting(map[uint64]struct{}{}) })
+	})
+	t.Run("dedup map larger than counter", func(t *testing.T) {
+		l := mkLive(100) // window on: only the upper bound applies, and it is violated
+		l.m.dedup.Set(1)
+		expectPanic(t, "dedup map holds", func() { l.verifyAccounting(map[uint64]struct{}{7: {}}) })
+	})
+	t.Run("dedup map diverged without pruning", func(t *testing.T) {
+		l := mkLive(0)
+		l.m.cmps.Add(2)
+		l.m.dedup.Set(1)
+		expectPanic(t, "no pruning active", func() { l.verifyAccounting(map[uint64]struct{}{7: {}}) })
+	})
+	t.Run("gauge stale", func(t *testing.T) {
+		l := mkLive(0)
+		l.m.cmps.Inc()
+		expectPanic(t, "gauge", func() { l.verifyAccounting(map[uint64]struct{}{7: {}}) })
+	})
+}

@@ -252,6 +252,14 @@ type Options struct {
 	// Keyer, when set, overrides Blocking with a custom blocking-key
 	// extractor — e.g. one learned with LearnAttributeClustering.
 	Keyer KeyerFunc
+	// CheckInvariants enables runtime self-verification of the pipeline's
+	// internal structures: the strategy's comparison index (heap order,
+	// pending accounting) after every increment, and the live runner's
+	// dedup/counter bookkeeping after every batch. Violations panic with a
+	// description of the broken invariant. Intended for tests, debugging,
+	// and canary deployments — the index checks cost O(index size) per
+	// increment.
+	CheckInvariants bool
 }
 
 // KeyerFunc derives the blocking keys of a profile. Profiles that share at
@@ -362,6 +370,7 @@ func (o Options) coreConfig() core.Config {
 		cfg.IndexCapacity = 0
 	}
 	cfg.Parallelism = o.Parallelism
+	cfg.CheckInvariants = o.CheckInvariants
 	return cfg
 }
 

@@ -44,6 +44,8 @@ func NewPipeline(opt Options) (*Pipeline, error) {
 		Keyer:        opt.keyer(),
 		Window:       opt.Window,
 		Metrics:      reg,
+
+		CheckInvariants: opt.CheckInvariants,
 	}
 	if opt.OnMatch != nil {
 		onMatch := opt.OnMatch
