@@ -11,6 +11,7 @@
 package pier_test
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -303,4 +304,118 @@ func BenchmarkStrategyUpdateIndex(b *testing.B) {
 			})
 		}
 	}
+}
+
+// benchCheckpointPipeline builds a public-API pipeline, resolves the DA
+// dataset through it, and leaves it stopped: the snapshot taken from it
+// covers a settled blocking index, dedup set, estimator state, and profile
+// registry — the realistic payload of a periodic production checkpoint.
+func benchCheckpointPipeline(b *testing.B) *pier.Pipeline {
+	b.Helper()
+	d := dataset.DA(0.1, 7)
+	p, err := pier.NewPipeline(pier.Options{CleanClean: true, TickEvery: time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, inc := range d.Increments(20) {
+		pub := make([]pier.Profile, 0, len(inc))
+		for _, dp := range inc {
+			pr := pier.Profile{Key: dp.EntityKey, SourceB: dp.Source == 1}
+			for _, a := range dp.Attributes {
+				pr.Attributes = append(pr.Attributes, pier.Attribute{Name: a.Name, Value: a.Value})
+			}
+			pub = append(pub, pr)
+		}
+		if err := p.Push(pub); err != nil {
+			b.Fatal(err)
+		}
+	}
+	p.Stop()
+	return p
+}
+
+// BenchmarkCheckpointSave measures snapshot serialization throughput: how
+// fast Checkpoint drains the full pipeline state to a writer. The per-call
+// cost bounds how often a deployment can afford -checkpoint-every.
+func BenchmarkCheckpointSave(b *testing.B) {
+	p := benchCheckpointPipeline(b)
+	var buf bytes.Buffer
+	var total int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		n, err := p.Checkpoint(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += n
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "snapshot-bytes")
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds()/1e6, "MB/s")
+}
+
+// BenchmarkCheckpointRestore measures the recovery path: decode a snapshot,
+// rebuild the index and queues, and start a live pipeline from it. This is
+// the time-to-recovery after a crash, excluding re-reading the input.
+func BenchmarkCheckpointRestore(b *testing.B) {
+	p := benchCheckpointPipeline(b)
+	var snap bytes.Buffer
+	if _, err := p.Checkpoint(&snap); err != nil {
+		b.Fatal(err)
+	}
+	raw := snap.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := pier.Restore(bytes.NewReader(raw), pier.Options{CleanClean: true, TickEvery: time.Millisecond})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Stop()
+	}
+}
+
+// BenchmarkFallibleOverhead compares a live run with the plain matcher
+// against the same run routed through the fallible envelope with no faults
+// injected: the difference is the steady-state price of the retry/timeout/
+// breaker machinery (DESIGN.md §9 targets < 3% on profiles/s). The
+// "fallible" variant is the default policy, whose per-attempt timeout runs
+// the matcher on its own goroutine; "fallible-no-timeout" disables the
+// timeout and keeps the call inline, isolating the bookkeeping cost alone.
+func BenchmarkFallibleOverhead(b *testing.B) {
+	d := dataset.DA(0.1, 9)
+	incs := d.Increments(20)
+	run := func(b *testing.B, cm match.ContextMatcher) {
+		for i := 0; i < b.N; i++ {
+			l := stream.LiveRun(core.NewIPES(core.DefaultConfig()), stream.LiveConfig{
+				CleanClean:     d.CleanClean,
+				MaxBlockSize:   stream.DefaultMaxBlockSize,
+				Matcher:        match.NewMatcher(match.JS),
+				TickEvery:      time.Millisecond,
+				ContextMatcher: cm,
+			})
+			for _, inc := range incs {
+				l.Push(inc)
+			}
+			res := l.Stop()
+			if res.Comparisons == 0 {
+				b.Fatal("run executed no comparisons")
+			}
+			if err := l.Err(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(d.NumProfiles()*b.N)/b.Elapsed().Seconds(), "profiles/s")
+	}
+	b.Run("direct", func(b *testing.B) { run(b, nil) })
+	b.Run("fallible", func(b *testing.B) {
+		m := match.NewMatcher(match.JS)
+		run(b, match.NewFallible(match.Infallible(m), match.DefaultFallibleConfig()))
+	})
+	b.Run("fallible-no-timeout", func(b *testing.B) {
+		m := match.NewMatcher(match.JS)
+		cfg := match.DefaultFallibleConfig()
+		cfg.Timeout = 0
+		run(b, match.NewFallible(match.Infallible(m), cfg))
+	})
 }

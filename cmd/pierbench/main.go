@@ -1,6 +1,6 @@
 // Command pierbench regenerates the paper's tables and figures. Run with
 // -exp to select an experiment (table1, fig1, fig2, fig4, fig5, fig6, fig7,
-// fig8, all) and -preset quick|standard for the dataset scales.
+// fig8, fault, all) and -preset quick|standard for the dataset scales.
 package main
 
 import (
@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, fig1, fig2, fig4, fig5, fig6, fig7, fig8, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, fig1, fig2, fig4, fig5, fig6, fig7, fig8, fault, all")
 	preset := flag.String("preset", "standard", "dataset scale preset: quick or standard")
 	seed := flag.Int64("seed", 1, "dataset generation seed")
 	curves := flag.String("curves", "", "directory to dump full PC curves as CSV (optional)")
@@ -47,8 +47,9 @@ func main() {
 		"fig6":   func() { experiments.Fig6(os.Stdout, opt) },
 		"fig7":   func() { experiments.Fig7(os.Stdout, opt) },
 		"fig8":   func() { experiments.Fig8(os.Stdout, opt) },
+		"fault":  func() { experiments.FaultTolerance(os.Stdout, opt) },
 	}
-	order := []string{"table1", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8"}
+	order := []string{"table1", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8", "fault"}
 	if *exp == "all" {
 		start := time.Now()
 		for _, name := range order {

@@ -12,15 +12,30 @@
 //	pierrun -in movies.csv -metrics :9090 &
 //	curl localhost:9090/metrics
 //
+// With -checkpoint FILE the run persists its full pipeline state — blocking
+// index, prioritized queues, dedup and retry bookkeeping, adaptive-K
+// estimators — to FILE on completion, and every N increments with
+// -checkpoint-every N (each write is atomic: temp file + rename). A later
+// run resumes from the snapshot with -restore FILE and executes exactly the
+// comparisons the uninterrupted run would have:
+//
+//	pierrun -in movies.csv -checkpoint run.snap -checkpoint-every 25
+//	pierrun -in movies_rest.csv -restore run.snap -checkpoint run.snap
+//
 // With -cpuprofile/-memprofile the run writes pprof profiles for offline
 // analysis with `go tool pprof`, and -parallelism sets the worker count of
 // the parallel pipeline stages (0 = one worker per CPU, 1 = exact serial).
+//
+// Exit codes: 0 on success, 2 for usage errors (bad flags, unknown
+// algorithm, missing input), 1 for runtime failures (unreadable files,
+// checkpoint errors).
 package main
 
 import (
 	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -54,71 +69,59 @@ func serveMetrics(addr string, reg *obsv.Registry) (net.Addr, func(), error) {
 }
 
 func main() {
-	in := flag.String("in", "", "profiles CSV (as written by piergen)")
-	gtPath := flag.String("gt", "", "optional ground-truth CSV for PC reporting")
-	alg := flag.String("algorithm", "I-PES", "I-PCS, I-PBS, I-PES, or I-BASE")
-	clean := flag.Bool("clean-clean", true, "Clean-Clean (two sources) vs Dirty ER")
-	matcher := flag.String("matcher", "JS", "match function: JS or ED")
-	rate := flag.Float64("rate", 16, "increments per second (0 = as fast as possible)")
-	nIncs := flag.Int("increments", 100, "number of increments to split the stream into")
-	window := flag.Int("window", 0, "profile window for unbounded streams (0 keeps everything)")
-	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/vars on this address (e.g. :9090; empty disables)")
-	parallelism := flag.Int("parallelism", 0, "worker count of the parallel pipeline stages (0 = one per CPU, 1 = exact serial)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
-	verbose := flag.Bool("v", false, "print every match as it is found")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fatal(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+// Exit codes: usage errors (flags, unknown algorithm) are distinct from
+// runtime failures so wrappers can tell a bad invocation from a bad run.
+const (
+	exitOK      = 0
+	exitRuntime = 1
+	exitUsage   = 2
+)
+
+// run is the testable body of the command: flags come from args, output goes
+// to the given writers, and the exit code is returned instead of os.Exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pierrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "profiles CSV (as written by piergen)")
+	gtPath := fs.String("gt", "", "optional ground-truth CSV for PC reporting")
+	alg := fs.String("algorithm", "I-PES", "I-PCS, I-PBS, I-PES, I-SN, or I-BASE")
+	clean := fs.Bool("clean-clean", true, "Clean-Clean (two sources) vs Dirty ER")
+	matcher := fs.String("matcher", "JS", "match function: JS or ED")
+	rate := fs.Float64("rate", 16, "increments per second (0 = as fast as possible)")
+	nIncs := fs.Int("increments", 100, "number of increments to split the stream into")
+	window := fs.Int("window", 0, "profile window for unbounded streams (0 keeps everything)")
+	metricsAddr := fs.String("metrics", "", "serve /metrics and /debug/vars on this address (e.g. :9090; empty disables)")
+	parallelism := fs.Int("parallelism", 0, "worker count of the parallel pipeline stages (0 = one per CPU, 1 = exact serial)")
+	ckptPath := fs.String("checkpoint", "", "write the pipeline state to this file on completion (and periodically with -checkpoint-every)")
+	ckptEvery := fs.Int("checkpoint-every", 0, "also checkpoint every N increments (requires -checkpoint)")
+	restorePath := fs.String("restore", "", "resume from a checkpoint file instead of starting fresh")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file at exit (go tool pprof)")
+	verbose := fs.Bool("v", false, "print every match as it is found")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
 	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fatal(err)
-			}
-			runtime.GC() // settle the heap so the profile shows live objects
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
-			}
-			f.Close()
-		}()
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "pierrun:", err)
+		return exitRuntime
+	}
+	usage := func(msg string) int {
+		fmt.Fprintln(stderr, "pierrun:", msg)
+		return exitUsage
 	}
 
 	if *in == "" {
-		fmt.Fprintln(os.Stderr, "pierrun: -in is required (generate data with piergen)")
-		os.Exit(2)
+		return usage("-in is required (generate data with piergen)")
 	}
-	f, err := os.Open(*in)
-	if err != nil {
-		fatal(err)
+	if *ckptEvery > 0 && *ckptPath == "" {
+		return usage("-checkpoint-every requires -checkpoint")
 	}
-	d, err := dataset.ReadCSV(f, *in, *clean)
-	f.Close()
-	if err != nil {
-		fatal(err)
-	}
-	if *gtPath != "" {
-		g, err := os.Open(*gtPath)
-		if err != nil {
-			fatal(err)
-		}
-		err = dataset.ReadGroundTruthCSV(g, d)
-		g.Close()
-		if err != nil {
-			fatal(err)
-		}
+	if *ckptEvery < 0 {
+		return usage("-checkpoint-every must be positive")
 	}
 
 	// One registry covers both parallel stages (candidate generation and
@@ -135,15 +138,75 @@ func main() {
 		strategy = core.NewIPBS(cfg)
 	case "I-PES":
 		strategy = core.NewIPES(cfg)
+	case "I-SN":
+		strategy = core.NewISN(cfg, 0)
 	case "I-BASE":
 		strategy = baseline.NewIBase(cfg)
 	default:
-		fmt.Fprintf(os.Stderr, "pierrun: unknown algorithm %q\n", *alg)
-		os.Exit(2)
+		return usage(fmt.Sprintf("unknown algorithm %q", *alg))
+	}
+	if *ckptPath != "" || *restorePath != "" {
+		if _, ok := strategy.(core.Persistent); !ok {
+			return usage(fmt.Sprintf("algorithm %q does not support -checkpoint/-restore", *alg))
+		}
 	}
 	kind := match.JS
-	if *matcher == "ED" {
+	switch *matcher {
+	case "JS":
+	case "ED":
 		kind = match.ED
+	default:
+		return usage(fmt.Sprintf("unknown matcher %q (want JS or ED)", *matcher))
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "pierrun:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "pierrun:", err)
+			}
+			f.Close()
+		}()
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		return fail(err)
+	}
+	d, err := dataset.ReadCSV(f, *in, *clean)
+	f.Close()
+	if err != nil {
+		return fail(err)
+	}
+	if *gtPath != "" {
+		g, err := os.Open(*gtPath)
+		if err != nil {
+			return fail(err)
+		}
+		err = dataset.ReadGroundTruthCSV(g, d)
+		g.Close()
+		if err != nil {
+			return fail(err)
+		}
 	}
 
 	start := time.Now()
@@ -160,52 +223,117 @@ func main() {
 	liveCfg.OnMatch = func(m stream.LiveMatch) {
 		found++
 		if *verbose {
-			fmt.Printf("%8s  match #%d: %d <-> %d (sim %.2f)\n",
+			fmt.Fprintf(stdout, "%8s  match #%d: %d <-> %d (sim %.2f)\n",
 				time.Since(start).Round(time.Millisecond), found, m.X.ID, m.Y.ID, m.Similarity)
 		}
 	}
-	live := stream.LiveRun(strategy, liveCfg)
+
+	var live *stream.Live
+	if *restorePath != "" {
+		rf, err := os.Open(*restorePath)
+		if err != nil {
+			return fail(err)
+		}
+		live, err = stream.RestoreLive(rf, strategy, liveCfg)
+		rf.Close()
+		if err != nil {
+			return fail(fmt.Errorf("restore %s: %w", *restorePath, err))
+		}
+		s := live.Snapshot()
+		fmt.Fprintf(stdout, "restored from %s: %d profiles, %d comparisons, %d matches\n",
+			*restorePath, s.Profiles, s.Comparisons, s.Matches)
+	} else {
+		live = stream.LiveRun(strategy, liveCfg)
+	}
+
+	// checkpoint writes the snapshot atomically: a crash mid-write leaves
+	// the previous checkpoint intact.
+	checkpoint := func() error {
+		tmp := *ckptPath + ".tmp"
+		cf, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if _, err := live.Checkpoint(cf); err != nil {
+			cf.Close()
+			os.Remove(tmp)
+			return err
+		}
+		if err := cf.Close(); err != nil {
+			os.Remove(tmp)
+			return err
+		}
+		return os.Rename(tmp, *ckptPath)
+	}
 
 	if *metricsAddr != "" {
 		addr, shutdown, err := serveMetrics(*metricsAddr, live.Registry())
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer shutdown()
-		fmt.Printf("serving metrics on http://%s/metrics (expvar at /debug/vars)\n", addr)
+		fmt.Fprintf(stdout, "serving metrics on http://%s/metrics (expvar at /debug/vars)\n", addr)
 	}
 
 	incs := d.Increments(*nIncs)
+	// When resuming over the same input, the first increments are already in
+	// the snapshot: skip them so profile IDs stay aligned with the restored
+	// state (the increment split is deterministic for a given -increments).
+	skip := 0
+	if *restorePath != "" {
+		skip = live.Snapshot().Increments
+		if skip > len(incs) {
+			skip = len(incs)
+		}
+		if skip > 0 {
+			fmt.Fprintf(stdout, "skipping %d increments already in the checkpoint\n", skip)
+		}
+	}
 	var interval time.Duration
 	if *rate > 0 {
 		interval = time.Duration(float64(time.Second) / *rate)
 	}
 	for i, inc := range incs {
-		live.Push(inc)
+		if i < skip {
+			continue
+		}
+		if err := live.Push(inc); err != nil {
+			return fail(err)
+		}
 		if interval > 0 {
 			time.Sleep(interval)
 		}
+		if *ckptEvery > 0 && (i+1)%*ckptEvery == 0 {
+			if err := checkpoint(); err != nil {
+				return fail(fmt.Errorf("checkpoint at increment %d: %w", i+1, err))
+			}
+		}
 		if (i+1)%25 == 0 {
 			s := live.Snapshot()
-			fmt.Printf("%8s  %d/%d increments, %d comparisons, %d matches, K=%d, pending=%d\n",
+			fmt.Fprintf(stdout, "%8s  %d/%d increments, %d comparisons, %d matches, K=%d, pending=%d\n",
 				time.Since(start).Round(time.Millisecond), i+1, len(incs), s.Comparisons, s.Matches, s.K, s.Pending)
 		}
 	}
 	res := live.Stop()
-	fmt.Printf("\n%s over %s\n", *alg, d)
-	fmt.Printf("profiles %d, comparisons %d, matches %d, elapsed %v\n",
+	if err := live.Err(); err != nil {
+		fmt.Fprintln(stderr, "pierrun: worker failure during the run:", err)
+	}
+	fmt.Fprintf(stdout, "\n%s over %s\n", *alg, d)
+	fmt.Fprintf(stdout, "profiles %d, comparisons %d, matches %d, elapsed %v\n",
 		res.Profiles, res.Comparisons, res.Matches, res.Elapsed.Round(time.Millisecond))
 	snap := live.Snapshot()
 	if snap.WindowEvictions > 0 {
-		fmt.Printf("window evictions %d, skipped evicted comparisons %d\n",
+		fmt.Fprintf(stdout, "window evictions %d, skipped evicted comparisons %d\n",
 			snap.WindowEvictions, snap.SkippedEvicted)
 	}
 	if len(d.GroundTruth) > 0 {
-		fmt.Printf("pair completeness: %.3f\n", res.Curve.FinalPC())
+		fmt.Fprintf(stdout, "pair completeness: %.3f\n", res.Curve.FinalPC())
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pierrun:", err)
-	os.Exit(1)
+	if *ckptPath != "" {
+		if err := checkpoint(); err != nil {
+			return fail(fmt.Errorf("final checkpoint: %w", err))
+		}
+		fmt.Fprintf(stdout, "checkpoint written to %s\n", *ckptPath)
+	}
+	return exitOK
 }

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -150,4 +153,118 @@ func TestMetricsEndpointDuringLiveRun(t *testing.T) {
 	if got := vars.Pier["pier_comparisons_total"]; got != float64(res.Comparisons) {
 		t.Errorf("expvar comparisons = %v, want %d", got, res.Comparisons)
 	}
+}
+
+// writeFixtureCSV materializes a small seeded dataset as the CSV pierrun
+// reads, returning its path.
+func writeFixtureCSV(t *testing.T) string {
+	t.Helper()
+	d := dataset.DA(0.05, 55)
+	path := filepath.Join(t.TempDir(), "fixture.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteCSV(f, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunExitCodes table-tests the CLI contract: usage errors exit 2 with a
+// message on stderr, runtime failures exit 1, and a good run exits 0 —
+// nothing panics.
+func TestRunExitCodes(t *testing.T) {
+	csv := writeFixtureCSV(t)
+	cases := []struct {
+		name   string
+		args   []string
+		code   int
+		stderr string // required substring; empty = no requirement
+	}{
+		{"no input", []string{}, 2, "-in is required"},
+		{"bad flag", []string{"-no-such-flag"}, 2, ""},
+		{"unknown algorithm", []string{"-in", csv, "-algorithm", "I-BOGUS"}, 2, "unknown algorithm"},
+		{"unknown matcher", []string{"-in", csv, "-matcher", "XX"}, 2, "unknown matcher"},
+		{"checkpoint-every without checkpoint", []string{"-in", csv, "-checkpoint-every", "5"}, 2, "requires -checkpoint"},
+		{"checkpoint with baseline", []string{"-in", csv, "-algorithm", "I-BASE", "-checkpoint", "x.snap"}, 2, "does not support"},
+		{"missing input file", []string{"-in", "/no/such/file.csv"}, 1, "no such file"},
+		{"missing restore file", []string{"-in", csv, "-restore", "/no/such.snap", "-rate", "0", "-increments", "4"}, 1, ""},
+		{"good run", []string{"-in", csv, "-rate", "0", "-increments", "4"}, 0, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(tc.args, &stdout, &stderr)
+			if got != tc.code {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, got, tc.code, stderr.String())
+			}
+			if tc.stderr != "" && !strings.Contains(stderr.String(), tc.stderr) {
+				t.Errorf("stderr %q missing %q", stderr.String(), tc.stderr)
+			}
+			if tc.code != 0 && stderr.Len() == 0 {
+				t.Error("failing run wrote nothing to stderr")
+			}
+		})
+	}
+}
+
+// TestRunCheckpointRestoreCycle drives the CLI recovery workflow end to end:
+// a partial run with periodic checkpoints, then a resumed run over the same
+// input from the final snapshot, must converge to the same totals as one
+// uninterrupted run.
+func TestRunCheckpointRestoreCycle(t *testing.T) {
+	csv := writeFixtureCSV(t)
+	snap := filepath.Join(t.TempDir(), "run.snap")
+
+	var full bytes.Buffer
+	if code := run([]string{"-in", csv, "-rate", "0", "-increments", "8"}, &full, io.Discard); code != 0 {
+		t.Fatalf("uninterrupted run exited %d", code)
+	}
+
+	var first bytes.Buffer
+	args := []string{"-in", csv, "-rate", "0", "-increments", "8", "-checkpoint", snap, "-checkpoint-every", "2"}
+	if code := run(args, &first, io.Discard); code != 0 {
+		t.Fatalf("checkpointing run exited %d", code)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("checkpoint file not written: %v", err)
+	}
+	if _, err := os.Stat(snap + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temporary checkpoint file left behind")
+	}
+
+	var resumed bytes.Buffer
+	if code := run([]string{"-in", csv, "-rate", "0", "-increments", "8", "-restore", snap}, &resumed, io.Discard); code != 0 {
+		t.Fatalf("resumed run exited %d", code)
+	}
+	if !strings.Contains(resumed.String(), "skipping 8 increments") {
+		t.Errorf("resumed run did not skip the snapshotted increments:\n%s", resumed.String())
+	}
+
+	// The final totals line must be identical across all three runs: the
+	// full snapshot already contains the whole drained stream, so the
+	// resumed run reports the same profiles/comparisons/matches.
+	if tf, tr := totalsLine(t, full.String()), totalsLine(t, resumed.String()); tf != tr {
+		t.Errorf("resumed totals %q differ from uninterrupted run %q", tr, tf)
+	}
+}
+
+// totalsLine extracts the "profiles N, comparisons N, matches N" prefix of
+// the summary line (elapsed varies run to run).
+func totalsLine(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "profiles ") {
+			if i := strings.LastIndex(line, ", elapsed"); i >= 0 {
+				return line[:i]
+			}
+			return line
+		}
+	}
+	t.Fatalf("no totals line in output:\n%s", out)
+	return ""
 }

@@ -1,0 +1,102 @@
+package bloom
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Checkpointing support: the strategies' executed-pair and comparison filters
+// are part of the incremental state a restart must not lose — a restored run
+// with an empty filter would re-emit comparisons the crashed run already
+// executed, breaking the recovery-equivalence guarantee of internal/check.
+// State captures either implementation of Membership in one gob-encodable
+// image; RestoreMembership reconstructs it.
+
+// SliceState is the persisted image of one scalable-filter slice.
+type SliceState struct {
+	Bits     []uint64
+	M        uint64
+	K        uint64
+	Capacity uint64
+	N        uint64
+}
+
+// State is the persisted image of a Membership: exactly one of the two
+// representations is populated, selected by Exact.
+type State struct {
+	Exact bool
+	// Keys holds the exact set's members (sorted, for deterministic
+	// encodings); only meaningful when Exact is true.
+	Keys []uint64
+	// Slices, FpNext and Count describe a scalable Bloom filter; only
+	// meaningful when Exact is false.
+	Slices []SliceState
+	FpNext float64
+	Count  uint64
+}
+
+// State returns the filter's persisted image. The bit arrays are copied, so
+// the image stays valid while the filter keeps growing.
+func (f *Filter) State() State {
+	st := State{FpNext: f.fpNext, Count: f.count}
+	st.Slices = make([]SliceState, len(f.slices))
+	for i, s := range f.slices {
+		st.Slices[i] = SliceState{
+			Bits:     append([]uint64(nil), s.bits...),
+			M:        s.m,
+			K:        s.k,
+			Capacity: s.capacity,
+			N:        s.n,
+		}
+	}
+	return st
+}
+
+// State returns the exact set's persisted image.
+func (e *Exact) State() State {
+	keys := make([]uint64, 0, len(e.m))
+	for k := range e.m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return State{Exact: true, Keys: keys}
+}
+
+// StateOf returns the persisted image of any supported Membership.
+func StateOf(m Membership) (State, error) {
+	switch v := m.(type) {
+	case *Filter:
+		return v.State(), nil
+	case *Exact:
+		return v.State(), nil
+	default:
+		return State{}, fmt.Errorf("bloom: cannot snapshot membership of type %T", m)
+	}
+}
+
+// RestoreMembership reconstructs the Membership captured by StateOf.
+func RestoreMembership(st State) Membership {
+	if st.Exact {
+		e := NewExact()
+		for _, k := range st.Keys {
+			e.m[k] = struct{}{}
+		}
+		return e
+	}
+	f := &Filter{fpNext: st.FpNext, count: st.Count}
+	f.slices = make([]*slice, len(st.Slices))
+	for i, s := range st.Slices {
+		f.slices[i] = &slice{
+			bits:     append([]uint64(nil), s.Bits...),
+			m:        s.M,
+			k:        s.K,
+			capacity: s.Capacity,
+			n:        s.N,
+		}
+	}
+	if len(f.slices) == 0 {
+		// An empty image restores to a usable default-sized filter.
+		return New(0, 0)
+	}
+	return f
+}

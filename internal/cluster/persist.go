@@ -1,0 +1,40 @@
+package cluster
+
+// State is the gob-encodable image of a Set. The union-find forest is
+// persisted verbatim (parent pointers and root sizes), so a restored set
+// reproduces the same Find representatives and Merge outcomes as the
+// original — Clusters() output is identical because it sorts members.
+type State struct {
+	Parent   map[int]int
+	Size     map[int]int
+	Clusters int
+}
+
+// State returns the set's persisted image. Maps are copied.
+func (s *Set) State() State {
+	st := State{
+		Parent:   make(map[int]int, len(s.parent)),
+		Size:     make(map[int]int, len(s.size)),
+		Clusters: s.clusters,
+	}
+	for k, v := range s.parent {
+		st.Parent[k] = v
+	}
+	for k, v := range s.size {
+		st.Size[k] = v
+	}
+	return st
+}
+
+// Restore reconstructs the set captured by State.
+func Restore(st State) *Set {
+	s := New()
+	for k, v := range st.Parent {
+		s.parent[k] = v
+	}
+	for k, v := range st.Size {
+		s.size[k] = v
+	}
+	s.clusters = st.Clusters
+	return s
+}

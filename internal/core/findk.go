@@ -20,6 +20,14 @@ type AdaptiveK struct {
 
 	interarrival float64 // seconds, EMA
 	service      float64 // seconds per comparison, EMA
+
+	// cap, when positive, is a temporary ceiling on K imposed from outside
+	// the arrival/service adaptation — the degraded mode of the fault-
+	// tolerant runtime: while the matcher's circuit breaker is open, the
+	// pipeline tightens K so a recovering matcher is not immediately hit
+	// with a full-size batch. The underlying EMA state keeps adapting, so
+	// clearing the cap returns K to the trajectory the rates dictate.
+	cap float64
 }
 
 // Default bounds for K. KDefault is used until both rates have been observed.
@@ -67,6 +75,21 @@ func (a *AdaptiveK) ema(cur, sample float64) float64 {
 	return (1-a.alpha)*cur + a.alpha*sample
 }
 
+// SetCap imposes a temporary ceiling on K (degraded mode); k <= 0 is
+// ignored. The EMA adaptation keeps running underneath, so ClearCap restores
+// the rate-driven trajectory.
+func (a *AdaptiveK) SetCap(k int) {
+	if k > 0 {
+		a.cap = float64(k)
+	}
+}
+
+// ClearCap removes the degraded-mode ceiling.
+func (a *AdaptiveK) ClearCap() { a.cap = 0 }
+
+// Capped reports whether a degraded-mode ceiling is currently imposed.
+func (a *AdaptiveK) Capped() bool { return a.cap > 0 }
+
 // Current returns the present value of K without advancing the adaptation —
 // a read-only probe for observability. K() both adapts and returns; calling
 // it to inspect the trajectory would perturb the trajectory.
@@ -78,7 +101,40 @@ func (a *AdaptiveK) Current() int {
 	if k > a.kMax {
 		k = a.kMax
 	}
+	if a.cap > 0 && k > a.cap {
+		k = a.cap
+	}
 	return int(k)
+}
+
+// KState is the gob-encodable image of the adaptation state: the smoothed K
+// and the two rate estimators. Bounds and smoothing factor are configuration
+// (reconstructed by the constructor), and the degraded-mode cap is runtime
+// condition, not state — a restored pipeline starts with the cap cleared and
+// re-trips its breaker if the matcher is still failing.
+type KState struct {
+	K            float64
+	Interarrival float64
+	Service      float64
+}
+
+// State returns the adaptation state for checkpointing.
+func (a *AdaptiveK) State() KState {
+	return KState{K: a.k, Interarrival: a.interarrival, Service: a.service}
+}
+
+// RestoreState replaces the adaptation state with a previously captured one,
+// clamped to this instance's bounds.
+func (a *AdaptiveK) RestoreState(st KState) {
+	a.k = st.K
+	if a.k < a.kMin {
+		a.k = a.kMin
+	}
+	if a.k > a.kMax {
+		a.k = a.kMax
+	}
+	a.interarrival = st.Interarrival
+	a.service = st.Service
 }
 
 // K returns the current batch size: the smoothed number of comparisons the
@@ -93,6 +149,11 @@ func (a *AdaptiveK) K() int {
 	}
 	if a.k > a.kMax {
 		a.k = a.kMax
+	}
+	if a.cap > 0 && a.k > a.cap {
+		// The cap bounds what is *emitted*, not the smoothed state: a.k
+		// itself keeps tracking the rates so recovery is immediate.
+		return int(a.cap)
 	}
 	return int(a.k)
 }

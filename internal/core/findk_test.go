@@ -116,3 +116,64 @@ func TestAdaptiveKEdgeCases(t *testing.T) {
 		})
 	}
 }
+
+// TestDegradedModeCapAndRecovery pins the degraded-mode contract of findK:
+// while the cap is set (the live runtime does this whenever the matcher's
+// circuit breaker opens) the *emitted* K is bounded by the cap, but the
+// underlying EMA state keeps tracking the observed rates — so after ClearCap
+// the trajectory is exactly the one a fault-free twin followed.
+func TestDegradedModeCapAndRecovery(t *testing.T) {
+	const arrival, service = 100 * time.Millisecond, 100 * time.Microsecond // target K = 1000
+	step := func(a *AdaptiveK) int {
+		a.ObserveArrival(arrival)
+		a.ObserveService(service)
+		return a.K()
+	}
+	free, capped := NewAdaptiveK(), NewAdaptiveK()
+	for i := 0; i < 20; i++ {
+		step(free)
+		step(capped)
+	}
+
+	capped.SetCap(KMin)
+	if !capped.Capped() {
+		t.Fatal("Capped() false after SetCap")
+	}
+	for i := 0; i < 30; i++ {
+		step(free)
+		if got := step(capped); got != KMin {
+			t.Fatalf("emitted K = %d under a KMin cap, want %d", got, KMin)
+		}
+	}
+	if got := capped.Current(); got != KMin {
+		t.Fatalf("Current() = %d under the cap, want %d", got, KMin)
+	}
+
+	capped.ClearCap()
+	if capped.Capped() {
+		t.Fatal("Capped() still true after ClearCap")
+	}
+	// Sustained matcher failure shrank only the *emitted* K; the smoothed
+	// state saw the same observations as the fault-free twin, so recovery is
+	// immediate and exact — not a slow climb back from KMin.
+	gotK, wantK := step(capped), step(free)
+	if gotK != wantK {
+		t.Fatalf("first K after recovery = %d, want the fault-free trajectory's %d", gotK, wantK)
+	}
+	if gotK <= KMin {
+		t.Fatalf("K = %d right after recovery; cap leaked into the adaptation state", gotK)
+	}
+
+	// The cap is runtime condition, not checkpoint state: a snapshot taken
+	// in degraded mode restores uncapped (the breaker re-trips if the
+	// matcher is still down).
+	capped.SetCap(KMin)
+	restored := NewAdaptiveK()
+	restored.RestoreState(capped.State())
+	if restored.Capped() {
+		t.Error("restored AdaptiveK kept the degraded-mode cap")
+	}
+	if got, want := restored.Current(), capped.State().K; float64(got) < want-1 || float64(got) > want+1 {
+		t.Errorf("restored Current() = %d, want ~%.0f", got, want)
+	}
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"pier/internal/bloom"
+	"pier/internal/metablocking"
+	"pier/internal/profile"
+	"pier/internal/queue"
+	"pier/internal/skiplist"
+)
+
+// Checkpointing: each PIER strategy can serialize its complete index state —
+// queues in heap layout, executed-pair filters, scan cursors, routing
+// statistics — and restore it into a freshly constructed instance of the same
+// strategy and configuration. Restoring the exact queue layouts (not just the
+// queued elements) makes the restored dequeue order byte-identical to the
+// uninterrupted one, which is what the recovery-equivalence oracle in
+// internal/check asserts. Configuration (scheme, capacities, β) is NOT
+// persisted: the caller reconstructs the strategy from its own configuration,
+// and restoring into a differently configured instance is undefined.
+
+// Persistent is implemented by strategies whose full incremental state can be
+// checkpointed. SaveState writes a self-contained gob image; LoadState
+// replaces the receiver's state with a previously saved image. LoadState must
+// be called on a fresh instance built with the same Config.
+type Persistent interface {
+	Strategy
+	SaveState(w io.Writer) error
+	LoadState(r io.Reader) error
+}
+
+var (
+	_ Persistent = (*IPCS)(nil)
+	_ Persistent = (*IPBS)(nil)
+	_ Persistent = (*IPES)(nil)
+	_ Persistent = (*ISN)(nil)
+)
+
+// generatorImage is the persisted state of the shared candidate-generation
+// core: the executed-pair filter and the fallback-scan cursor. The weigher is
+// a cache keyed on the collection's identity and version; it rebuilds itself
+// on first use after a restore.
+type generatorImage struct {
+	Executed    bloom.State
+	ScanKeys    []string
+	ScanPos     int
+	ScanVersion uint64
+	ScanValid   bool
+}
+
+func (g *generator) image() (generatorImage, error) {
+	ex, err := bloom.StateOf(g.executed)
+	if err != nil {
+		return generatorImage{}, err
+	}
+	return generatorImage{
+		Executed:    ex,
+		ScanKeys:    append([]string(nil), g.scanKeys...),
+		ScanPos:     g.scanPos,
+		ScanVersion: g.scanVersion,
+		ScanValid:   g.scanValid,
+	}, nil
+}
+
+func (g *generator) restore(img generatorImage) {
+	g.executed = bloom.RestoreMembership(img.Executed)
+	g.scanKeys = append([]string(nil), img.ScanKeys...)
+	g.scanPos = img.ScanPos
+	g.scanVersion = img.ScanVersion
+	g.scanValid = img.ScanValid
+	g.weigher = metablocking.Weigher{} // cache: rebuilt lazily
+}
+
+// ipcsImage is the persisted state of I-PCS.
+type ipcsImage struct {
+	Gen   generatorImage
+	Index []metablocking.Comparison
+}
+
+// SaveState implements Persistent.
+func (s *IPCS) SaveState(w io.Writer) error {
+	gen, err := s.gen.image()
+	if err != nil {
+		return fmt.Errorf("core: save I-PCS: %w", err)
+	}
+	img := ipcsImage{Gen: gen, Index: s.index.Snapshot()}
+	if err := gob.NewEncoder(w).Encode(&img); err != nil {
+		return fmt.Errorf("core: save I-PCS: %w", err)
+	}
+	return nil
+}
+
+// LoadState implements Persistent.
+func (s *IPCS) LoadState(r io.Reader) error {
+	var img ipcsImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return fmt.Errorf("core: load I-PCS: %w", err)
+	}
+	s.gen.restore(img.Gen)
+	s.index.Restore(img.Index)
+	return nil
+}
+
+// ciEntryImage mirrors the unexported ciEntry for encoding.
+type ciEntryImage struct {
+	Count int
+	Key   string
+}
+
+// ipbsImage is the persisted state of I-PBS.
+type ipbsImage struct {
+	Index        []metablocking.Comparison
+	CI           map[string]int
+	PI           map[string][]int
+	Heap         []ciEntryImage
+	CF           bloom.State
+	InvertRefill bool
+}
+
+// SaveState implements Persistent.
+func (s *IPBS) SaveState(w io.Writer) error {
+	cf, err := bloom.StateOf(s.cf)
+	if err != nil {
+		return fmt.Errorf("core: save I-PBS: %w", err)
+	}
+	img := ipbsImage{
+		Index:        s.index.Snapshot(),
+		CI:           s.ci,
+		PI:           s.pi,
+		CF:           cf,
+		InvertRefill: s.InvertRefill,
+	}
+	for _, e := range s.minHeap.Snapshot() {
+		img.Heap = append(img.Heap, ciEntryImage{Count: e.count, Key: e.key})
+	}
+	if err := gob.NewEncoder(w).Encode(&img); err != nil {
+		return fmt.Errorf("core: save I-PBS: %w", err)
+	}
+	return nil
+}
+
+// LoadState implements Persistent.
+func (s *IPBS) LoadState(r io.Reader) error {
+	var img ipbsImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return fmt.Errorf("core: load I-PBS: %w", err)
+	}
+	s.index.Restore(img.Index)
+	s.ci = img.CI
+	if s.ci == nil {
+		s.ci = make(map[string]int)
+	}
+	s.pi = img.PI
+	if s.pi == nil {
+		s.pi = make(map[string][]int)
+	}
+	heap := make([]ciEntry, len(img.Heap))
+	for i, e := range img.Heap {
+		heap[i] = ciEntry{count: e.Count, key: e.Key}
+	}
+	s.minHeap.Restore(heap)
+	s.cf = bloom.RestoreMembership(img.CF)
+	s.InvertRefill = img.InvertRefill
+	s.weigher = metablocking.Weigher{}
+	return nil
+}
+
+// entityEntryImage mirrors the unexported entityEntry for encoding.
+type entityEntryImage struct {
+	ID     int
+	Weight float64
+}
+
+// entityStateImage mirrors the unexported entityState for encoding.
+type entityStateImage struct {
+	Items    []metablocking.Comparison
+	InsSum   float64
+	InsCount int
+}
+
+// ipesImage is the persisted state of I-PES.
+type ipesImage struct {
+	Gen         generatorImage
+	EntityQueue []entityEntryImage
+	EPQ         map[int]entityStateImage
+	PQ          []metablocking.Comparison
+	Total       float64
+	Count       int
+	Pending     int
+}
+
+// SaveState implements Persistent.
+func (s *IPES) SaveState(w io.Writer) error {
+	gen, err := s.gen.image()
+	if err != nil {
+		return fmt.Errorf("core: save I-PES: %w", err)
+	}
+	img := ipesImage{
+		Gen:     gen,
+		PQ:      s.pq.Snapshot(),
+		EPQ:     make(map[int]entityStateImage, len(s.epq)),
+		Total:   s.total,
+		Count:   s.count,
+		Pending: s.pending,
+	}
+	for _, e := range s.entityQueue.Snapshot() {
+		img.EntityQueue = append(img.EntityQueue, entityEntryImage{ID: e.id, Weight: e.weight})
+	}
+	for id, st := range s.epq {
+		img.EPQ[id] = entityStateImage{
+			Items:    st.q.Snapshot(),
+			InsSum:   st.insSum,
+			InsCount: st.insCount,
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(&img); err != nil {
+		return fmt.Errorf("core: save I-PES: %w", err)
+	}
+	return nil
+}
+
+// LoadState implements Persistent.
+func (s *IPES) LoadState(r io.Reader) error {
+	var img ipesImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return fmt.Errorf("core: load I-PES: %w", err)
+	}
+	s.gen.restore(img.Gen)
+	eq := make([]entityEntry, len(img.EntityQueue))
+	for i, e := range img.EntityQueue {
+		eq[i] = entityEntry{id: e.ID, weight: e.Weight}
+	}
+	s.entityQueue.Restore(eq)
+	s.epq = make(map[int]*entityState, len(img.EPQ))
+	for id, sti := range img.EPQ {
+		st := &entityState{
+			q:        queueOf(s.cfg.PerEntityCapacity, sti.Items),
+			insSum:   sti.InsSum,
+			insCount: sti.InsCount,
+		}
+		s.epq[id] = st
+	}
+	s.pq.Restore(img.PQ)
+	s.total = img.Total
+	s.count = img.Count
+	s.pending = img.Pending
+	return nil
+}
+
+// snKeyImage mirrors the unexported snKey for encoding.
+type snKeyImage struct {
+	Token string
+	ID    int
+	Src   uint8
+}
+
+// isnImage is the persisted state of I-SN.
+type isnImage struct {
+	Keys  []snKeyImage
+	Queue []metablocking.Comparison
+}
+
+// SaveState implements Persistent.
+func (s *ISN) SaveState(w io.Writer) error {
+	img := isnImage{Queue: s.queue.Snapshot()}
+	for n := s.index.First(); n != nil; n = n.Next() {
+		img.Keys = append(img.Keys, snKeyImage{Token: n.Key.token, ID: n.Key.id, Src: uint8(n.Key.src)})
+	}
+	if err := gob.NewEncoder(w).Encode(&img); err != nil {
+		return fmt.Errorf("core: save I-SN: %w", err)
+	}
+	return nil
+}
+
+// LoadState implements Persistent. The sorted-neighborhood index is rebuilt
+// by re-inserting the saved keys in order; tower heights re-randomize, but
+// candidate generation only walks level-0 links, whose order is fully
+// determined by the keys, so future emissions are unaffected.
+func (s *ISN) LoadState(r io.Reader) error {
+	var img isnImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return fmt.Errorf("core: load I-SN: %w", err)
+	}
+	s.index = skiplist.New(snLess, 1)
+	for _, k := range img.Keys {
+		s.index.Insert(snKey{token: k.Token, id: k.ID, src: profile.Source(k.Src)})
+	}
+	s.queue.Restore(img.Queue)
+	return nil
+}
+
+// queueOf builds a bounded queue preloaded with a heap-layout snapshot.
+func queueOf(capacity int, items []metablocking.Comparison) *queue.Bounded[metablocking.Comparison] {
+	q := queue.NewBounded(capacity, metablocking.Less)
+	q.Restore(items)
+	return q
+}

@@ -140,3 +140,17 @@ func TestExperimentOutputDeterministic(t *testing.T) {
 		t.Error("Table1 output differs between identical runs")
 	}
 }
+
+func TestFaultToleranceReportsThroughputAndOverhead(t *testing.T) {
+	var sb strings.Builder
+	FaultTolerance(&sb, tiny())
+	out := sb.String()
+	for _, want := range []string{"snapshot size", "checkpoint save", "checkpoint restore", "MB/s", "plain matcher", "fallible (default)", "overhead"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FaultTolerance output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "failed") {
+		t.Errorf("FaultTolerance reported a failure:\n%s", out)
+	}
+}

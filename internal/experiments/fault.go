@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"pier/internal/core"
+	"pier/internal/dataset"
+	"pier/internal/match"
+	"pier/internal/stream"
+)
+
+// faultLiveConfig is the live configuration the fault-tolerance experiment
+// runs under: the JS matcher on a clean-clean stream, optionally routed
+// through a fallible envelope.
+func faultLiveConfig(d *dataset.Dataset, cm match.ContextMatcher) stream.LiveConfig {
+	return stream.LiveConfig{
+		CleanClean:     d.CleanClean,
+		MaxBlockSize:   stream.DefaultMaxBlockSize,
+		Matcher:        match.NewMatcher(match.JS),
+		TickEvery:      time.Millisecond,
+		ContextMatcher: cm,
+	}
+}
+
+// drainLive pushes every increment into a fresh live pipeline and drains it,
+// returning the pipeline (still checkpointable) and the wall-clock rate.
+func drainLive(d *dataset.Dataset, nIncs int, cm match.ContextMatcher) (*stream.Live, float64) {
+	l := stream.LiveRun(core.NewIPES(core.DefaultConfig()), faultLiveConfig(d, cm))
+	start := time.Now()
+	for _, inc := range d.Increments(nIncs) {
+		l.Push(inc)
+	}
+	l.Stop()
+	return l, float64(d.NumProfiles()) / time.Since(start).Seconds()
+}
+
+// FaultTolerance reports what the robustness layer (DESIGN.md §9) costs when
+// nothing goes wrong: checkpoint write and restore throughput over a settled
+// pipeline, and the steady-state overhead of the fallible-matcher envelope
+// versus the plain matcher. The envelope's default policy runs every attempt
+// under a per-attempt timeout on its own goroutine; the no-timeout row keeps
+// the call inline and isolates the retry/breaker bookkeeping, which is the
+// <3% budget the design targets.
+func FaultTolerance(w io.Writer, opt Options) {
+	s := newSuite(opt)
+	d := s.DA()
+	nIncs := increments(d)
+	const reps = 3
+
+	fmt.Fprintf(w, "Fault tolerance: snapshot throughput and no-fault matcher overhead (%s, %d profiles)\n",
+		d.Name, d.NumProfiles())
+
+	// Checkpoint/restore throughput over the fully drained pipeline.
+	l, _ := drainLive(d, nIncs, nil)
+	var snap bytes.Buffer
+	saveStart := time.Now()
+	for i := 0; i < reps; i++ {
+		snap.Reset()
+		if _, err := l.Checkpoint(&snap); err != nil {
+			fmt.Fprintf(w, "checkpoint failed: %v\n", err)
+			return
+		}
+	}
+	saveDur := time.Since(saveStart) / reps
+	restoreStart := time.Now()
+	for i := 0; i < reps; i++ {
+		r, err := stream.RestoreLive(bytes.NewReader(snap.Bytes()), core.NewIPES(core.DefaultConfig()), faultLiveConfig(d, nil))
+		if err != nil {
+			fmt.Fprintf(w, "restore failed: %v\n", err)
+			return
+		}
+		r.Stop()
+	}
+	restoreDur := time.Since(restoreStart) / reps
+	mbps := func(dur time.Duration) float64 {
+		return float64(snap.Len()) / dur.Seconds() / 1e6
+	}
+	fmt.Fprintf(w, "%-22s %10d bytes\n", "snapshot size", snap.Len())
+	fmt.Fprintf(w, "%-22s %10s per snapshot  (%.1f MB/s)\n", "checkpoint save", saveDur.Round(time.Microsecond), mbps(saveDur))
+	fmt.Fprintf(w, "%-22s %10s per snapshot  (%.1f MB/s)\n", "checkpoint restore", restoreDur.Round(time.Microsecond), mbps(restoreDur))
+
+	// Steady-state matcher overhead: best-of-reps end-to-end rate for the
+	// plain matcher versus the fallible envelope with zero injected faults.
+	best := func(mk func() match.ContextMatcher) float64 {
+		var top float64
+		for i := 0; i < reps; i++ {
+			_, rate := drainLive(d, nIncs, mk())
+			if rate > top {
+				top = rate
+			}
+		}
+		return top
+	}
+	direct := best(func() match.ContextMatcher { return nil })
+	rows := []struct {
+		name string
+		mk   func() match.ContextMatcher
+	}{
+		{"fallible (default)", func() match.ContextMatcher {
+			return match.NewFallible(match.Infallible(match.NewMatcher(match.JS)), match.DefaultFallibleConfig())
+		}},
+		{"fallible (no timeout)", func() match.ContextMatcher {
+			cfg := match.DefaultFallibleConfig()
+			cfg.Timeout = 0
+			return match.NewFallible(match.Infallible(match.NewMatcher(match.JS)), cfg)
+		}},
+	}
+	fmt.Fprintf(w, "%-22s %12.0f profiles/s\n", "plain matcher", direct)
+	for _, row := range rows {
+		rate := best(row.mk)
+		fmt.Fprintf(w, "%-22s %12.0f profiles/s  (overhead %+.1f%%)\n",
+			row.name, rate, (direct-rate)/direct*100)
+	}
+}

@@ -1,0 +1,342 @@
+package match
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pier/internal/obsv"
+	"pier/internal/profile"
+)
+
+// ContextMatcher is the fallible matcher contract of the fault-tolerant
+// runtime: a match function that can take time, be cancelled, and fail.
+// Real-world matchers are often remote — an ML model behind an RPC, a human
+// oracle, a rate-limited API — so the streaming pipeline must treat "is this
+// pair a duplicate?" as an operation that can return neither yes nor no.
+// Implementations must be safe for concurrent use; the live matcher calls
+// Match from multiple pool workers.
+type ContextMatcher interface {
+	Match(ctx context.Context, a, b *profile.Profile) (bool, error)
+}
+
+// ContextFunc adapts a plain function to ContextMatcher.
+type ContextFunc func(ctx context.Context, a, b *profile.Profile) (bool, error)
+
+// Match implements ContextMatcher.
+func (f ContextFunc) Match(ctx context.Context, a, b *profile.Profile) (bool, error) {
+	return f(ctx, a, b)
+}
+
+// infallible adapts a pure Matcher to the ContextMatcher interface; see
+// Infallible.
+type infallible struct{ m Matcher }
+
+func (im infallible) Match(_ context.Context, a, b *profile.Profile) (bool, error) {
+	return im.m.Match(a, b), nil
+}
+
+// Infallible lifts a never-failing similarity matcher into the ContextMatcher
+// interface, ignoring the context (the built-in matchers are pure CPU work
+// with bounded cost; cancellation points between comparisons suffice).
+// Fallible recognizes this adapter and runs it inline, skipping the
+// per-attempt watchdog goroutine: a matcher that cannot block has nothing for
+// a timeout to rescue, and the watchdog would only add its spawn cost to
+// every comparison.
+func Infallible(m Matcher) ContextMatcher {
+	return infallible{m}
+}
+
+// Sentinel errors of the fallible matching layer.
+var (
+	// ErrMatchTimeout reports that one attempt exceeded FallibleConfig.Timeout.
+	ErrMatchTimeout = errors.New("match: comparison timed out")
+	// ErrCircuitOpen reports that the circuit breaker is open and the call
+	// was rejected without reaching the underlying matcher.
+	ErrCircuitOpen = errors.New("match: circuit breaker open")
+)
+
+// BreakerState enumerates the classic circuit-breaker states.
+type BreakerState int
+
+const (
+	// BreakerClosed: calls flow normally; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: calls fail fast with ErrCircuitOpen until the cooldown
+	// elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe call is let through; success closes the
+	// breaker, failure reopens it for another cooldown.
+	BreakerHalfOpen
+)
+
+// String returns the conventional state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// FallibleConfig tunes the retry, timeout, and circuit-breaker policy of a
+// Fallible matcher. The defaults (DefaultFallibleConfig) suit a matcher whose
+// healthy latency is well under a millisecond — the built-in similarity
+// functions — and should be raised for remote matchers.
+type FallibleConfig struct {
+	// Timeout bounds one attempt; <= 0 disables the per-attempt timeout.
+	// The attempt's context is cancelled at the deadline, but an inner
+	// matcher that ignores its context keeps running on an abandoned
+	// goroutine until it returns — the pipeline moves on regardless.
+	Timeout time.Duration
+	// MaxRetries is the number of re-attempts after the first failure
+	// (so MaxRetries = 2 means at most 3 attempts per Match call).
+	MaxRetries int
+	// BaseBackoff is the delay before the first retry; each subsequent
+	// retry doubles it, capped at MaxBackoff, with ±50% seeded jitter.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff; <= 0 means 100× BaseBackoff.
+	MaxBackoff time.Duration
+	// BreakerThreshold is the number of consecutive failed attempts that
+	// trips the breaker; <= 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before letting a
+	// half-open probe through.
+	BreakerCooldown time.Duration
+	// Seed drives the jitter PRNG, keeping fault-injection runs
+	// reproducible.
+	Seed int64
+}
+
+// DefaultFallibleConfig returns the policy defaults documented in DESIGN.md
+// §9: 3 attempts, 1ms base backoff, breaker at 8 consecutive failures with a
+// 50ms cooldown, 100ms per-attempt timeout.
+func DefaultFallibleConfig() FallibleConfig {
+	return FallibleConfig{
+		Timeout:          100 * time.Millisecond,
+		MaxRetries:       2,
+		BaseBackoff:      time.Millisecond,
+		MaxBackoff:       100 * time.Millisecond,
+		BreakerThreshold: 8,
+		BreakerCooldown:  50 * time.Millisecond,
+	}
+}
+
+// Fallible wraps a ContextMatcher with per-attempt timeouts, exponential
+// backoff retries, and a circuit breaker. It is safe for concurrent use; the
+// breaker state is shared across callers, so a flood of failures from any
+// worker trips the whole matcher into fast-fail.
+type Fallible struct {
+	inner ContextMatcher
+	cfg   FallibleConfig
+	// inline skips the watchdog goroutine: set when the inner matcher is
+	// the Infallible adapter, which cannot block.
+	inline bool
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	state    BreakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+
+	// injectable clocks for tests; nil means the real ones
+	now   func() time.Time
+	sleep func(time.Duration)
+
+	// optional instruments; nil fields are skipped
+	retries  *obsv.Counter
+	timeouts *obsv.Counter
+	trips    *obsv.Counter
+	rejects  *obsv.Counter
+}
+
+// NewFallible wraps inner with the given policy.
+func NewFallible(inner ContextMatcher, cfg FallibleConfig) *Fallible {
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 100 * cfg.BaseBackoff
+	}
+	_, inline := inner.(infallible)
+	return &Fallible{
+		inner:  inner,
+		cfg:    cfg,
+		inline: inline,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		now:    time.Now,
+		sleep:  time.Sleep,
+	}
+}
+
+// Instrument attaches failure-path instruments from reg and returns the
+// matcher for chaining.
+func (f *Fallible) Instrument(reg *obsv.Registry) *Fallible {
+	f.retries = reg.Counter("pier_match_retries_total", "matcher attempts retried after a failure")
+	f.timeouts = reg.Counter("pier_match_timeouts_total", "matcher attempts abandoned at the per-attempt timeout")
+	f.trips = reg.Counter("pier_breaker_trips_total", "circuit breaker transitions into the open state")
+	f.rejects = reg.Counter("pier_breaker_rejects_total", "comparisons rejected fast while the breaker was open")
+	return f
+}
+
+// BreakerOpen reports whether the breaker currently rejects calls. The live
+// pipeline polls this to enter and leave degraded mode (tightened K).
+func (f *Fallible) BreakerOpen() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.state == BreakerOpen && f.now().Sub(f.openedAt) < f.cfg.BreakerCooldown
+}
+
+// State returns the breaker's current state (for observability and tests).
+func (f *Fallible) State() BreakerState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.state
+}
+
+// allow decides whether an attempt may proceed, transitioning Open→HalfOpen
+// after the cooldown. At most one probe runs half-open at a time; concurrent
+// callers keep failing fast until the probe resolves.
+func (f *Fallible) allow() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch f.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if f.now().Sub(f.openedAt) < f.cfg.BreakerCooldown {
+			return false
+		}
+		f.state = BreakerHalfOpen
+		f.probing = true
+		return true
+	default: // half-open
+		if f.probing {
+			return false
+		}
+		f.probing = true
+		return true
+	}
+}
+
+// report records an attempt outcome and drives the breaker state machine.
+func (f *Fallible) report(ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cfg.BreakerThreshold <= 0 {
+		return
+	}
+	switch f.state {
+	case BreakerHalfOpen:
+		f.probing = false
+		if ok {
+			f.state = BreakerClosed
+			f.fails = 0
+		} else {
+			f.state = BreakerOpen
+			f.openedAt = f.now()
+		}
+	default:
+		if ok {
+			f.fails = 0
+			return
+		}
+		f.fails++
+		if f.fails >= f.cfg.BreakerThreshold {
+			f.state = BreakerOpen
+			f.openedAt = f.now()
+			f.fails = 0
+			if f.trips != nil {
+				f.trips.Inc()
+			}
+		}
+	}
+}
+
+// backoff returns the jittered exponential delay before retry number attempt
+// (1-based): base·2^(attempt−1), capped, scaled by a seeded factor in
+// [0.5, 1.5).
+func (f *Fallible) backoff(attempt int) time.Duration {
+	d := f.cfg.BaseBackoff << (attempt - 1)
+	if d <= 0 || d > f.cfg.MaxBackoff {
+		d = f.cfg.MaxBackoff
+	}
+	f.mu.Lock()
+	jitter := 0.5 + f.rng.Float64()
+	f.mu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+// Match implements ContextMatcher: attempt the inner matcher under the
+// per-attempt timeout, retrying with backoff on failure, honoring the
+// breaker. The error of the final attempt is returned; a breaker rejection
+// returns ErrCircuitOpen. Match never invents a verdict: a failed comparison
+// must be re-enqueued by the caller, not classified.
+func (f *Fallible) Match(ctx context.Context, a, b *profile.Profile) (bool, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		if !f.allow() {
+			if f.rejects != nil {
+				f.rejects.Inc()
+			}
+			if lastErr != nil {
+				return false, fmt.Errorf("%w (last attempt: %v)", ErrCircuitOpen, lastErr)
+			}
+			return false, ErrCircuitOpen
+		}
+		ok, err := f.attempt(ctx, a, b)
+		f.report(err == nil)
+		if err == nil {
+			return ok, nil
+		}
+		lastErr = err
+		if attempt >= f.cfg.MaxRetries {
+			return false, lastErr
+		}
+		if f.retries != nil {
+			f.retries.Inc()
+		}
+		if f.cfg.BaseBackoff > 0 {
+			f.sleep(f.backoff(attempt + 1))
+		}
+	}
+}
+
+// attempt runs one timed call of the inner matcher. The inner call runs on
+// its own goroutine so a matcher that ignores ctx still cannot stall the
+// pipeline past the timeout; its eventual result is discarded.
+func (f *Fallible) attempt(ctx context.Context, a, b *profile.Profile) (bool, error) {
+	if f.cfg.Timeout <= 0 || f.inline {
+		return f.inner.Match(ctx, a, b)
+	}
+	attemptCtx, cancel := context.WithTimeout(ctx, f.cfg.Timeout)
+	defer cancel()
+	type result struct {
+		ok  bool
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		ok, err := f.inner.Match(attemptCtx, a, b)
+		ch <- result{ok, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.ok, r.err
+	case <-attemptCtx.Done():
+		if ctx.Err() != nil {
+			return false, ctx.Err() // caller cancelled, not a matcher fault
+		}
+		if f.timeouts != nil {
+			f.timeouts.Inc()
+		}
+		return false, fmt.Errorf("%w after %v", ErrMatchTimeout, f.cfg.Timeout)
+	}
+}

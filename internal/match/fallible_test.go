@@ -1,0 +1,204 @@
+package match
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pier/internal/obsv"
+	"pier/internal/profile"
+)
+
+var (
+	pa = profile.New(0, profile.SourceA, "e0", "name", "alpha")
+	pb = profile.New(1, profile.SourceA, "e1", "name", "alpha")
+)
+
+// flaky fails the first failures calls, then answers true.
+type flaky struct {
+	mu       sync.Mutex
+	failures int
+	calls    int
+}
+
+func (m *flaky) Match(ctx context.Context, a, b *profile.Profile) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.calls++
+	if m.calls <= m.failures {
+		return false, errors.New("transient")
+	}
+	return true, nil
+}
+
+// newTestFallible wraps inner with fake clocks: sleeps are recorded, not
+// slept, and now is an adjustable instant.
+func newTestFallible(inner ContextMatcher, cfg FallibleConfig) (*Fallible, *[]time.Duration, *time.Time) {
+	f := NewFallible(inner, cfg)
+	slept := &[]time.Duration{}
+	now := new(time.Time)
+	*now = time.Unix(1000, 0)
+	f.sleep = func(d time.Duration) { *slept = append(*slept, d) }
+	f.now = func() time.Time { return *now }
+	return f, slept, now
+}
+
+func TestFallibleRetriesThenSucceeds(t *testing.T) {
+	inner := &flaky{failures: 2}
+	reg := obsv.NewRegistry()
+	f, slept, _ := newTestFallible(inner, FallibleConfig{
+		MaxRetries:  3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  time.Second,
+	})
+	f.Instrument(reg)
+	ok, err := f.Match(context.Background(), pa, pb)
+	if err != nil || !ok {
+		t.Fatalf("Match = %v, %v; want true, nil", ok, err)
+	}
+	if inner.calls != 3 {
+		t.Errorf("inner calls = %d, want 3", inner.calls)
+	}
+	if got := f.retries.Value(); got != 2 {
+		t.Errorf("retries counter = %d, want 2", got)
+	}
+	if len(*slept) != 2 {
+		t.Fatalf("sleeps = %v, want 2 backoffs", *slept)
+	}
+	// Jitter scales each base delay by [0.5, 1.5); the second backoff's base
+	// is double the first's.
+	if (*slept)[0] < 500*time.Microsecond || (*slept)[0] >= 1500*time.Microsecond {
+		t.Errorf("first backoff %v outside jittered [0.5ms, 1.5ms)", (*slept)[0])
+	}
+	if (*slept)[1] < time.Millisecond || (*slept)[1] >= 3*time.Millisecond {
+		t.Errorf("second backoff %v outside jittered [1ms, 3ms)", (*slept)[1])
+	}
+}
+
+func TestFallibleExhaustsRetries(t *testing.T) {
+	inner := &flaky{failures: 1 << 30}
+	f, _, _ := newTestFallible(inner, FallibleConfig{MaxRetries: 2, BaseBackoff: time.Millisecond})
+	_, err := f.Match(context.Background(), pa, pb)
+	if err == nil || err.Error() != "transient" {
+		t.Fatalf("Match error = %v, want the final transient error", err)
+	}
+	if inner.calls != 3 {
+		t.Errorf("inner calls = %d, want 3 (1 + MaxRetries)", inner.calls)
+	}
+}
+
+func TestBreakerTripsFastFailsAndRecovers(t *testing.T) {
+	inner := &flaky{failures: 4} // one Match call of 4 attempts trips it
+	reg := obsv.NewRegistry()
+	cooldown := 50 * time.Millisecond
+	f, _, now := newTestFallible(inner, FallibleConfig{
+		MaxRetries:       3,
+		BreakerThreshold: 4,
+		BreakerCooldown:  cooldown,
+	})
+	f.Instrument(reg)
+
+	// 4 consecutive failures exhaust the call's retries and trip the breaker;
+	// the tripping call itself reports the matcher's error.
+	_, err := f.Match(context.Background(), pa, pb)
+	if err == nil || !errors.Is(err, ErrCircuitOpen) && err.Error() != "transient" {
+		t.Fatalf("Match after trip = %v, want the transient error", err)
+	}
+	if f.State() != BreakerOpen || !f.BreakerOpen() {
+		t.Fatalf("state = %v, want open", f.State())
+	}
+	if got := f.trips.Value(); got != 1 {
+		t.Errorf("trips counter = %d, want 1", got)
+	}
+
+	// While open, calls fail fast without touching the inner matcher.
+	before := inner.calls
+	if _, err := f.Match(context.Background(), pa, pb); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("Match while open = %v, want ErrCircuitOpen", err)
+	}
+	if inner.calls != before {
+		t.Errorf("inner matcher reached while breaker open (%d calls)", inner.calls-before)
+	}
+	if f.rejects.Value() == 0 {
+		t.Error("rejects counter not incremented on fast-fail")
+	}
+
+	// After the cooldown the half-open probe goes through, succeeds (the
+	// flaky matcher has exhausted its failures), and closes the breaker.
+	*now = now.Add(cooldown + time.Millisecond)
+	if f.BreakerOpen() {
+		t.Fatal("BreakerOpen still true after cooldown")
+	}
+	ok, err := f.Match(context.Background(), pa, pb)
+	if err != nil || !ok {
+		t.Fatalf("probe Match = %v, %v; want true, nil", ok, err)
+	}
+	if f.State() != BreakerClosed {
+		t.Errorf("state after successful probe = %v, want closed", f.State())
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	inner := &flaky{failures: 1 << 30}
+	cooldown := 50 * time.Millisecond
+	f, _, now := newTestFallible(inner, FallibleConfig{
+		BreakerThreshold: 2,
+		BreakerCooldown:  cooldown,
+	})
+	f.Match(context.Background(), pa, pb)
+	f.Match(context.Background(), pa, pb)
+	if f.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open after threshold failures", f.State())
+	}
+	*now = now.Add(cooldown + time.Millisecond)
+	if _, err := f.Match(context.Background(), pa, pb); err == nil {
+		t.Fatal("probe unexpectedly succeeded")
+	}
+	if f.State() != BreakerOpen {
+		t.Errorf("state after failed probe = %v, want open again", f.State())
+	}
+}
+
+func TestFallibleTimeout(t *testing.T) {
+	inner := ContextFunc(func(ctx context.Context, a, b *profile.Profile) (bool, error) {
+		<-ctx.Done() // a matcher that honors cancellation but never answers
+		return false, ctx.Err()
+	})
+	reg := obsv.NewRegistry()
+	f := NewFallible(inner, FallibleConfig{Timeout: 5 * time.Millisecond})
+	f.Instrument(reg)
+	_, err := f.Match(context.Background(), pa, pb)
+	if !errors.Is(err, ErrMatchTimeout) {
+		t.Fatalf("Match = %v, want ErrMatchTimeout", err)
+	}
+	if got := f.timeouts.Value(); got != 1 {
+		t.Errorf("timeouts counter = %d, want 1", got)
+	}
+}
+
+func TestFallibleCallerCancellationIsNotAFault(t *testing.T) {
+	inner := ContextFunc(func(ctx context.Context, a, b *profile.Profile) (bool, error) {
+		<-ctx.Done()
+		return false, ctx.Err()
+	})
+	f := NewFallible(inner, FallibleConfig{Timeout: time.Minute, MaxRetries: 5})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, err := f.Match(ctx, pa, pb)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Match = %v, want context.Canceled", err)
+	}
+}
+
+func TestInfallibleAdapter(t *testing.T) {
+	m := Infallible(NewMatcher(JS))
+	ok, err := m.Match(context.Background(), pa, pb)
+	if err != nil || !ok {
+		t.Errorf("Infallible JS on identical tokens = %v, %v; want true, nil", ok, err)
+	}
+}

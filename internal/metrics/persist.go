@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"sort"
+	"time"
+)
+
+// RecorderState is the gob-encodable image of a Recorder mid-run: the
+// distinct ground-truth pairs found so far, the comparison counter, the
+// sampling cursor, and the partial curve. The ground truth itself is not
+// persisted — it is configuration, supplied again on restore.
+type RecorderState struct {
+	Found       []uint64
+	Comparisons int
+	SampleEvery int
+	LastSampled int
+	Samples     []Sample
+	// StreamConsumed mirrors Curve.StreamConsumed when the recorder had
+	// already marked the stream as fully ingested.
+	StreamConsumed int64 // nanoseconds, gob-friendly
+}
+
+// State returns the recorder's persisted image.
+func (r *Recorder) State() RecorderState {
+	st := RecorderState{
+		Comparisons:    r.comparisons,
+		SampleEvery:    r.sampleEvery,
+		LastSampled:    r.lastSampled,
+		Samples:        append([]Sample(nil), r.curve.Samples...),
+		StreamConsumed: int64(r.curve.StreamConsumed),
+	}
+	st.Found = make([]uint64, 0, len(r.found))
+	for k := range r.found {
+		st.Found = append(st.Found, k)
+	}
+	sort.Slice(st.Found, func(i, j int) bool { return st.Found[i] < st.Found[j] })
+	return st
+}
+
+// RestoreRecorder reconstructs the recorder captured by State, reattached to
+// the given ground truth (which must be the same set the original used for
+// PC accounting to stay meaningful).
+func RestoreRecorder(st RecorderState, gt map[uint64]struct{}) *Recorder {
+	r := NewRecorder(gt, st.SampleEvery)
+	for _, k := range st.Found {
+		r.found[k] = struct{}{}
+	}
+	r.comparisons = st.Comparisons
+	r.lastSampled = st.LastSampled
+	r.curve.Samples = append([]Sample(nil), st.Samples...)
+	r.curve.StreamConsumed = time.Duration(st.StreamConsumed)
+	return r
+}

@@ -10,12 +10,30 @@
 package pool
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
 	"pier/internal/obsv"
 )
+
+// PanicError wraps a panic recovered inside a worker: the panic value, the
+// worker goroutine's stack at recovery time, and the index of the task that
+// panicked. The pool converts panics to errors instead of letting them tear
+// down the process, so one poisoned profile pair cannot kill a long-running
+// pipeline; the caller decides how to fail the batch that owned the task.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // debug.Stack() captured inside the recovering worker
+	Index int    // the task index whose fn panicked
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pool: task %d panicked: %v", e.Index, e.Value)
+}
 
 // Resolve maps a user-facing parallelism knob to a worker count: 0 or any
 // negative value means one worker per available CPU (GOMAXPROCS), 1 forces
@@ -69,8 +87,25 @@ func (p *Pool) Serial() bool { return p.workers <= 1 }
 // completion is a happens-before barrier for the caller). With one worker —
 // or a single task — the loop runs inline in increasing index order.
 func (p *Pool) ForEach(n int, fn func(i int)) {
+	if err := p.TryForEach(n, fn); err != nil {
+		// Callers of ForEach opted out of error handling; re-raise the
+		// original panic value on the calling goroutine, where it is
+		// actionable, instead of crashing an anonymous worker.
+		panic(err.(*PanicError).Value)
+	}
+}
+
+// TryForEach is ForEach with panic isolation: a panic inside fn is recovered
+// in the worker that hit it, captured with its stack, and returned as a
+// *PanicError after every in-flight task has finished. Remaining undispatched
+// indices are skipped once a panic is observed — the batch is failing anyway,
+// so the pool drains rather than burns through it — which means on error the
+// caller must treat the WHOLE batch's results as void: there is no record of
+// which indices ran. If several in-flight tasks panic, the lowest-indexed one
+// is reported.
+func (p *Pool) TryForEach(n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	workers := p.workers
 	if workers > n {
@@ -78,38 +113,65 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			p.run(i, fn)
+			if err := p.run(i, fn); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr *PanicError
+	var failed atomic.Bool
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
+				if failed.Load() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				p.run(i, fn)
+				if err := p.run(i, fn); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if firstErr == nil || err.Index < firstErr.Index {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return nil
 }
 
-// run executes one task under the pool's instruments.
-func (p *Pool) run(i int, fn func(int)) {
+// run executes one task under the pool's instruments, converting a panic in
+// fn to a *PanicError. The busy gauge is decremented on the panic path too,
+// so a recovered batch leaves the instruments consistent; the task counter
+// only counts tasks that completed.
+func (p *Pool) run(i int, fn func(int)) (perr *PanicError) {
 	if p.busy != nil {
 		p.busy.Add(1)
+		defer p.busy.Add(-1)
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			perr = &PanicError{Value: r, Stack: debug.Stack(), Index: i}
+		}
+	}()
 	fn(i)
-	if p.busy != nil {
-		p.busy.Add(-1)
-	}
 	if p.tasks != nil {
 		p.tasks.Inc()
 	}
+	return nil
 }

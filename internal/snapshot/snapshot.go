@@ -1,0 +1,178 @@
+// Package snapshot implements the versioned binary container format for PIER
+// checkpoints. A snapshot is a magic header followed by a sequence of named,
+// length-prefixed sections, each holding one component's gob-encoded state
+// (blocking collection, strategy index, adaptive-K estimators, live-stream
+// accounting, …).
+//
+// The container is deliberately dumb: it knows nothing about the sections'
+// contents, only their names and byte lengths. Components own their images,
+// so a component can evolve its persisted representation without touching the
+// framing, and the reader can reject a snapshot with a precise error — wrong
+// magic, unsupported version, truncated section, section-order mismatch —
+// before any component decoder runs.
+//
+// Compatibility policy (DESIGN.md §9): the format version is bumped whenever
+// any section's image changes incompatibly; readers accept exactly one
+// version. Checkpoints are operational state for crash recovery, not an
+// archival format — a version mismatch means "re-ingest from the source",
+// never silent partial restore.
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Magic identifies a PIER snapshot stream.
+const Magic = "PIERSNAP"
+
+// Version is the current container format version. Readers reject any other
+// value.
+const Version uint32 = 1
+
+// maxSectionSize bounds a single section to guard the reader against
+// corrupted or adversarial length prefixes (1 GiB is far beyond any real
+// checkpoint section).
+const maxSectionSize = 1 << 30
+
+// Writer emits a snapshot stream: header first, then sections in call order.
+type Writer struct {
+	w   io.Writer
+	err error
+	// Bytes counts the payload written so far, header included, for the
+	// checkpoint-size observability the pipeline reports.
+	bytes int64
+}
+
+// NewWriter writes the snapshot header to w and returns the section writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	sw := &Writer{w: w}
+	var hdr bytes.Buffer
+	hdr.WriteString(Magic)
+	if err := binary.Write(&hdr, binary.LittleEndian, Version); err != nil {
+		return nil, fmt.Errorf("snapshot: write header: %w", err)
+	}
+	n, err := w.Write(hdr.Bytes())
+	sw.bytes += int64(n)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: write header: %w", err)
+	}
+	return sw, nil
+}
+
+// Section writes one named section whose body is produced by encode (usually
+// a closure gob-encoding a component image). After the first error every
+// subsequent call is a no-op returning that error.
+func (sw *Writer) Section(name string, encode func(io.Writer) error) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	var body bytes.Buffer
+	if err := encode(&body); err != nil {
+		sw.err = fmt.Errorf("snapshot: encode section %q: %w", name, err)
+		return sw.err
+	}
+	var frame bytes.Buffer
+	if err := binary.Write(&frame, binary.LittleEndian, uint32(len(name))); err != nil {
+		sw.err = err
+		return sw.err
+	}
+	frame.WriteString(name)
+	if err := binary.Write(&frame, binary.LittleEndian, uint64(body.Len())); err != nil {
+		sw.err = err
+		return sw.err
+	}
+	n1, err := sw.w.Write(frame.Bytes())
+	sw.bytes += int64(n1)
+	if err != nil {
+		sw.err = fmt.Errorf("snapshot: write section %q: %w", name, err)
+		return sw.err
+	}
+	n2, err := sw.w.Write(body.Bytes())
+	sw.bytes += int64(n2)
+	if err != nil {
+		sw.err = fmt.Errorf("snapshot: write section %q: %w", name, err)
+		return sw.err
+	}
+	return nil
+}
+
+// Gob writes one named section holding the gob encoding of v.
+func (sw *Writer) Gob(name string, v any) error {
+	return sw.Section(name, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(v)
+	})
+}
+
+// Bytes returns the total bytes written so far (header + sections).
+func (sw *Writer) Bytes() int64 { return sw.bytes }
+
+// Reader consumes a snapshot stream section by section, in writing order.
+type Reader struct {
+	r io.Reader
+}
+
+// NewReader validates the snapshot header of r and returns the section
+// reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	hdr := make([]byte, len(Magic)+4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("snapshot: read header: %w", err)
+	}
+	if string(hdr[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q (not a PIER snapshot)", hdr[:len(Magic)])
+	}
+	v := binary.LittleEndian.Uint32(hdr[len(Magic):])
+	if v != Version {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (this build reads version %d)", v, Version)
+	}
+	return &Reader{r: r}, nil
+}
+
+// Section reads the next section, which must be named name, and hands its
+// body to decode. Section-order mismatches are reported with both names, so
+// a snapshot written by a different pipeline configuration fails loudly.
+func (sr *Reader) Section(name string, decode func(io.Reader) error) error {
+	var nameLen uint32
+	if err := binary.Read(sr.r, binary.LittleEndian, &nameLen); err != nil {
+		return fmt.Errorf("snapshot: read section header (want %q): %w", name, err)
+	}
+	if nameLen > 1024 {
+		return fmt.Errorf("snapshot: section name length %d implausible (corrupt stream?)", nameLen)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(sr.r, nameBuf); err != nil {
+		return fmt.Errorf("snapshot: read section name (want %q): %w", name, err)
+	}
+	var bodyLen uint64
+	if err := binary.Read(sr.r, binary.LittleEndian, &bodyLen); err != nil {
+		return fmt.Errorf("snapshot: read section %q length: %w", nameBuf, err)
+	}
+	if bodyLen > maxSectionSize {
+		return fmt.Errorf("snapshot: section %q length %d exceeds limit (corrupt stream?)", nameBuf, bodyLen)
+	}
+	if got := string(nameBuf); got != name {
+		return fmt.Errorf("snapshot: section order mismatch: want %q, found %q", name, got)
+	}
+	body := io.LimitReader(sr.r, int64(bodyLen))
+	if err := decode(body); err != nil {
+		return fmt.Errorf("snapshot: decode section %q: %w", name, err)
+	}
+	// Skip any bytes the decoder left unread so the stream stays aligned
+	// for the next section (gob decoders may not consume trailing padding).
+	if _, err := io.Copy(io.Discard, body); err != nil {
+		return fmt.Errorf("snapshot: skip section %q remainder: %w", name, err)
+	}
+	return nil
+}
+
+// Gob reads the next section, which must be named name, gob-decoding its
+// body into v.
+func (sr *Reader) Gob(name string, v any) error {
+	return sr.Section(name, func(r io.Reader) error {
+		return gob.NewDecoder(r).Decode(v)
+	})
+}

@@ -2,7 +2,10 @@ package stream
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
+	"sort"
 	"sync"
 	"time"
 
@@ -14,6 +17,7 @@ import (
 	"pier/internal/obsv"
 	"pier/internal/pool"
 	"pier/internal/profile"
+	"pier/internal/snapshot"
 )
 
 // LiveMatch is one classified pair reported by the live pipeline.
@@ -37,6 +41,20 @@ type LiveConfig struct {
 	Keyer blocking.Keyer
 	// Matcher classifies emitted pairs.
 	Matcher match.Matcher
+	// ContextMatcher, if set, replaces Matcher with a fallible matcher: a
+	// comparison can now time out, fail, or be rejected by a circuit
+	// breaker (see match.Fallible). A failed comparison is never dropped
+	// and never classified — it is requeued and retried in a later batch,
+	// so the executed-comparison accounting still counts every pair exactly
+	// once. When the matcher exposes a BreakerOpen() method and the breaker
+	// trips, the pipeline enters degraded mode: K is capped at core.KMin
+	// until the breaker recovers.
+	ContextMatcher match.ContextMatcher
+	// RetryBudget bounds how many times one comparison may fail before it
+	// is abandoned (counted in pier_match_abandoned_total). 0 retries
+	// forever — the strict requeue-not-drop regime; use it when failures
+	// are known to be transient.
+	RetryBudget int
 	// K is the findK policy; nil defaults to core.NewAdaptiveK.
 	K *core.AdaptiveK
 	// TickEvery is how often the blocking stage emits an empty increment
@@ -60,6 +78,11 @@ type LiveConfig struct {
 	// OnMatch, if set, is called synchronously from the pipeline goroutine
 	// for every pair classified as a duplicate.
 	OnMatch func(LiveMatch)
+	// OnExecuted, if set, is called synchronously from the pipeline
+	// goroutine with the pair key of every comparison the moment it is
+	// counted (classified successfully). The recovery-equivalence oracle
+	// uses it to collect the executed set of a run.
+	OnExecuted func(key uint64)
 	// GroundTruth, if set, enables PC accounting in the final LiveResult.
 	GroundTruth map[uint64]struct{}
 	// Metrics, if set, is the registry the pipeline registers its
@@ -68,10 +91,10 @@ type LiveConfig struct {
 	Metrics *obsv.Registry
 	// CheckInvariants enables per-batch self-verification of the pipeline's
 	// accounting: the dedup map never exceeds the executed-comparison
-	// counter (and matches it exactly when no Window pruning runs), matches
-	// never exceed comparisons, and the final LiveResult agrees with the
-	// live Stats() counters. Violations panic. Intended for tests and
-	// debugging; the checks are O(1) per batch.
+	// counter plus the retry backlog (and matches the sum exactly when no
+	// Window pruning runs), matches never exceed comparisons, and the final
+	// LiveResult agrees with the live Stats() counters. Violations panic.
+	// Intended for tests and debugging; the checks are O(1) per batch.
 	CheckInvariants bool
 }
 
@@ -88,12 +111,17 @@ type LiveResult struct {
 	Clusters [][]int
 	Curve    *metrics.Curve
 	Elapsed  time.Duration
+	// Interrupted reports that the run was ended by Interrupt (or a
+	// cancelled Drive context) without draining the remaining prioritized
+	// work. An interrupted pipeline is still checkpointable: restore the
+	// checkpoint to finish the run later.
+	Interrupted bool
 }
 
 // LiveSnapshot is a point-in-time, thread-safe view of a running pipeline's
 // internals — the same numbers the metrics endpoint exposes, for embedders
 // that want them without HTTP. All fields are cumulative counters except K,
-// Pending, and DedupEntries, which are instantaneous gauges.
+// Pending, RetryPending, and DedupEntries, which are instantaneous gauges.
 type LiveSnapshot struct {
 	// Profiles is the number of profiles ingested so far.
 	Profiles int
@@ -116,6 +144,8 @@ type LiveSnapshot struct {
 	// Pending is the strategy's queued-comparison depth after the most
 	// recent batch.
 	Pending int
+	// RetryPending is the number of failed comparisons awaiting retry.
+	RetryPending int
 	// DedupEntries is the current size of the executed-comparison dedup
 	// map (bounded under Window by eviction-driven pruning).
 	DedupEntries int
@@ -133,16 +163,27 @@ type liveMetrics struct {
 	skipped    *obsv.Counter
 	evictions  *obsv.Counter
 
-	k         *obsv.Gauge
-	pending   *obsv.Gauge
-	dedup     *obsv.Gauge
-	matchBusy *obsv.Gauge
+	// failure-path instruments of the fault-tolerant runtime
+	matchFailures *obsv.Counter // failed comparison attempts (requeued)
+	batchFailures *obsv.Counter // batches voided by a worker panic
+	requeues      *obsv.Counter // comparisons placed on the retry queue
+	abandoned     *obsv.Counter // comparisons dropped after RetryBudget
+	ckptTotal     *obsv.Counter // checkpoints written
+
+	k            *obsv.Gauge
+	pending      *obsv.Gauge
+	dedup        *obsv.Gauge
+	matchBusy    *obsv.Gauge
+	retryPending *obsv.Gauge
+	degraded     *obsv.Gauge // 1 while K is capped by an open breaker
+	ckptBytes    *obsv.Gauge // size of the last checkpoint
 
 	incSize   *obsv.Histogram
 	ingestSec *obsv.Histogram
 	batchSize *obsv.Histogram
 	seqSec    *obsv.Histogram
 	parSec    *obsv.Histogram
+	ckptSec   *obsv.Histogram
 }
 
 // newLiveMetrics registers the pipeline's instruments in reg. Registration is
@@ -153,45 +194,127 @@ func newLiveMetrics(reg *obsv.Registry) *liveMetrics {
 	latBuckets := obsv.ExpBuckets(1e-6, 10, 8)     // 1µs .. 10s
 	serviceBuckets := obsv.ExpBuckets(1e-6, 10, 8) // per-batch matcher time
 	return &liveMetrics{
-		profiles:   reg.Counter("pier_profiles_ingested_total", "profiles ingested into the live pipeline"),
-		increments: reg.Counter("pier_increments_total", "data increments pushed into the live pipeline"),
-		cmps:       reg.Counter("pier_comparisons_total", "comparisons executed by the matcher"),
-		matches:    reg.Counter("pier_matches_total", "pairs classified as duplicates"),
-		newLinks:   reg.Counter("pier_new_links_total", "matches that connected two previously separate clusters"),
-		skipped:    reg.Counter("pier_skipped_evicted_total", "emitted comparisons skipped because a profile was evicted"),
-		evictions:  reg.Counter("pier_window_evictions_total", "profiles evicted from the sliding window"),
-		k:          reg.Gauge("pier_k", "live adaptive batch size K (Algorithm 1 findK)"),
-		pending:    reg.Gauge("pier_pending", "strategy queued-comparison depth after the last batch"),
-		dedup:      reg.Gauge("pier_dedup_entries", "size of the executed-comparison dedup map"),
-		matchBusy:  reg.Gauge("pier_match_workers_busy", "matcher workers currently computing similarities"),
-		incSize:    reg.Histogram("pier_increment_size", "profiles per pushed increment", sizeBuckets),
-		ingestSec:  reg.Histogram("pier_ingest_seconds", "wall time to block and index one increment", latBuckets),
-		batchSize:  reg.Histogram("pier_batch_size", "comparisons per emitted batch (after dedup and eviction skips)", sizeBuckets),
-		seqSec:     reg.Histogram("pier_match_seq_seconds", "per-batch matcher service time, sequential path", serviceBuckets),
-		parSec:     reg.Histogram("pier_match_par_seconds", "per-batch matcher service time, parallel path", serviceBuckets),
+		profiles:      reg.Counter("pier_profiles_ingested_total", "profiles ingested into the live pipeline"),
+		increments:    reg.Counter("pier_increments_total", "data increments pushed into the live pipeline"),
+		cmps:          reg.Counter("pier_comparisons_total", "comparisons executed by the matcher"),
+		matches:       reg.Counter("pier_matches_total", "pairs classified as duplicates"),
+		newLinks:      reg.Counter("pier_new_links_total", "matches that connected two previously separate clusters"),
+		skipped:       reg.Counter("pier_skipped_evicted_total", "emitted comparisons skipped because a profile was evicted"),
+		evictions:     reg.Counter("pier_window_evictions_total", "profiles evicted from the sliding window"),
+		matchFailures: reg.Counter("pier_match_failures_total", "comparison attempts that failed and were requeued"),
+		batchFailures: reg.Counter("pier_batch_failures_total", "batches voided by a recovered worker panic"),
+		requeues:      reg.Counter("pier_requeues_total", "comparisons placed on the retry queue"),
+		abandoned:     reg.Counter("pier_match_abandoned_total", "comparisons dropped after exhausting RetryBudget"),
+		ckptTotal:     reg.Counter("pier_checkpoints_total", "checkpoints written"),
+		k:             reg.Gauge("pier_k", "live adaptive batch size K (Algorithm 1 findK)"),
+		pending:       reg.Gauge("pier_pending", "strategy queued-comparison depth after the last batch"),
+		dedup:         reg.Gauge("pier_dedup_entries", "size of the executed-comparison dedup map"),
+		matchBusy:     reg.Gauge("pier_match_workers_busy", "matcher workers currently computing similarities"),
+		retryPending:  reg.Gauge("pier_retry_pending", "failed comparisons awaiting retry"),
+		degraded:      reg.Gauge("pier_degraded_mode", "1 while the matcher breaker is open and K is capped"),
+		ckptBytes:     reg.Gauge("pier_checkpoint_bytes", "size of the most recent checkpoint in bytes"),
+		incSize:       reg.Histogram("pier_increment_size", "profiles per pushed increment", sizeBuckets),
+		ingestSec:     reg.Histogram("pier_ingest_seconds", "wall time to block and index one increment", latBuckets),
+		batchSize:     reg.Histogram("pier_batch_size", "comparisons per emitted batch (after dedup and eviction skips)", sizeBuckets),
+		seqSec:        reg.Histogram("pier_match_seq_seconds", "per-batch matcher service time, sequential path", serviceBuckets),
+		parSec:        reg.Histogram("pier_match_par_seconds", "per-batch matcher service time, parallel path", serviceBuckets),
+		ckptSec:       reg.Histogram("pier_checkpoint_seconds", "wall time to write one checkpoint", latBuckets),
 	}
 }
+
+// retryJob is one failed comparison awaiting re-execution. Profiles are
+// re-resolved from the collection at retry time (they may have been evicted
+// meanwhile), so only the IDs are held.
+type retryJob struct {
+	key      uint64
+	x, y     int
+	attempts int
+}
+
+// liveState is the complete incremental state of a live pipeline, owned by
+// the pipeline goroutine while it runs and quiescent — readable by the
+// checkpoint path — once done is closed. Hoisting it out of the loop is what
+// makes the pipeline checkpointable and restorable.
+type liveState struct {
+	col      *blocking.Collection
+	clusters *cluster.Set
+	rec      *metrics.Recorder
+	executed map[uint64]struct{}
+
+	windowIDs         []int // insertion order, for eviction
+	evictedSinceSweep int   // triggers pruning of the executed map
+
+	retryQ []retryJob
+
+	res         *liveCounters
+	start       time.Time
+	lastArrival time.Time
+}
+
+// liveCounters are the loop-local result fields accumulated during a run.
+type liveCounters struct {
+	Profiles    int
+	Matches     int
+	NewLinks    int
+	Interrupted bool
+}
+
+// ErrStopped is returned by Push after Stop or Interrupt closed the stream.
+var ErrStopped = errors.New("stream: Live.Push called after Stop")
 
 // Live is a running real-time PIER pipeline. Feed it increments with Push;
 // the pipeline goroutine interleaves ingestion with progressive matching and
 // keeps working on the best remaining comparisons while the stream is idle.
-// Close the stream with Stop to collect the result.
+// Close the stream with Stop to collect the result, or Interrupt to end it
+// without draining (the state stays checkpointable either way).
 type Live struct {
 	cfg      LiveConfig
 	strategy core.Strategy
 	incoming chan []*profile.Profile
+	ctrl     chan ckptReq
+	intr     chan struct{}
 	done     chan struct{}
 	result   *LiveResult
 	reg      *obsv.Registry
 	m        *liveMetrics
 
-	mu     sync.Mutex // guards closed and serializes Push against Stop
-	closed bool
+	st *liveState // owned by the loop goroutine until done closes
+
+	mu          sync.Mutex // guards closed/interrupted/batchErr and serializes Push against Stop
+	closed      bool
+	interrupted bool
+	batchErr    error // first batch-voiding panic, for Err()
+}
+
+type ckptReq struct {
+	w     io.Writer
+	reply chan ckptRes
+}
+
+type ckptRes struct {
+	bytes int64
+	err   error
 }
 
 // LiveRun starts a real-time pipeline with the given strategy. The returned
-// Live must be finished with Stop.
+// Live must be finished with Stop (or Interrupt).
 func LiveRun(strategy core.Strategy, cfg LiveConfig) *Live {
+	l := newLive(strategy, cfg)
+	st := &liveState{
+		col:      blocking.NewCollectionKeyed(cfg.CleanClean, cfg.MaxBlockSize, l.cfg.Keyer),
+		clusters: cluster.New(),
+		rec:      metrics.NewRecorder(l.cfg.GroundTruth, 500),
+		executed: make(map[uint64]struct{}),
+		res:      &liveCounters{},
+		start:    time.Now(),
+	}
+	l.st = st
+	go l.loop(st)
+	return l
+}
+
+// newLive applies config defaults and builds the Live shell (no goroutine).
+func newLive(strategy core.Strategy, cfg LiveConfig) *Live {
 	if cfg.TickEvery <= 0 {
 		cfg.TickEvery = 50 * time.Millisecond
 	}
@@ -205,36 +328,56 @@ func LiveRun(strategy core.Strategy, cfg LiveConfig) *Live {
 		cfg:      cfg,
 		strategy: strategy,
 		incoming: make(chan []*profile.Profile, 64),
+		ctrl:     make(chan ckptReq),
+		intr:     make(chan struct{}),
 		done:     make(chan struct{}),
 		reg:      cfg.Metrics,
 		m:        newLiveMetrics(cfg.Metrics),
 	}
 	l.m.k.Set(int64(cfg.K.Current()))
-	go l.loop()
 	return l
 }
 
 // Push feeds one data increment to the pipeline. It blocks only when the
 // pipeline's input buffer is full — the natural backpressure of the paper's
-// data-reading stage slowing down the sources. Push must not be called after
-// Stop; doing so panics with a descriptive message instead of the raw
-// "send on closed channel" runtime error.
-func (l *Live) Push(increment []*profile.Profile) {
+// data-reading stage slowing down the sources. Push after Stop or Interrupt
+// returns ErrStopped (it used to panic; the error return lets stream sources
+// race benignly with shutdown).
+func (l *Live) Push(increment []*profile.Profile) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		panic("stream: Live.Push called after Stop")
+		return ErrStopped
 	}
 	// The send happens under l.mu so a concurrent Stop cannot close the
 	// channel mid-send; the pipeline goroutine keeps draining, so a full
 	// buffer still makes progress.
 	l.incoming <- increment
+	return nil
 }
 
 // Stats returns the current comparison and match counters. It reads the same
 // instruments the final Summary is built from, so the two always agree.
 func (l *Live) Stats() (comparisons, matches int) {
 	return int(l.m.cmps.Value()), int(l.m.matches.Value())
+}
+
+// Err returns the first batch-voiding worker panic observed so far, as a
+// *pool.PanicError, or nil. A batch failure is not fatal — its comparisons
+// were requeued and the pipeline keeps running — but embedders may want to
+// log or alert on it.
+func (l *Live) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.batchErr
+}
+
+func (l *Live) setErr(err error) {
+	l.mu.Lock()
+	if l.batchErr == nil {
+		l.batchErr = err
+	}
+	l.mu.Unlock()
 }
 
 // Snapshot returns a point-in-time view of the pipeline's internals. It is
@@ -250,6 +393,7 @@ func (l *Live) Snapshot() LiveSnapshot {
 		WindowEvictions: int(l.m.evictions.Value()),
 		K:               int(l.m.k.Value()),
 		Pending:         int(l.m.pending.Value()),
+		RetryPending:    int(l.m.retryPending.Value()),
 		DedupEntries:    int(l.m.dedup.Value()),
 	}
 }
@@ -273,35 +417,48 @@ func (l *Live) Stop() *LiveResult {
 	return l.result
 }
 
-// loop is the pipeline goroutine: a wall-clock analogue of Run.
-func (l *Live) loop() {
+// Interrupt ends the run without draining: queued comparisons are left where
+// they are, the result is marked Interrupted, and the pipeline state stays
+// intact — Checkpoint still works afterwards, which is how a controlled
+// shutdown (or the fault harness's simulated crash) preserves an in-flight
+// run. Increments already acknowledged by Push are folded into the index
+// before the loop exits, so a post-Interrupt checkpoint never loses
+// acknowledged data (Pushes racing with Interrupt from other goroutines are
+// not covered by that guarantee). Interrupt is idempotent and may follow
+// Stop (aborting the drain).
+func (l *Live) Interrupt() *LiveResult {
+	l.mu.Lock()
+	l.closed = true
+	if !l.interrupted {
+		l.interrupted = true
+		close(l.intr)
+	}
+	l.mu.Unlock()
+	<-l.done
+	return l.result
+}
+
+// loop is the pipeline goroutine: a wall-clock analogue of Run operating on
+// the hoisted state st.
+func (l *Live) loop(st *liveState) {
 	defer close(l.done)
-	col := blocking.NewCollectionKeyed(l.cfg.CleanClean, l.cfg.MaxBlockSize, l.cfg.Keyer)
-	clusters := cluster.New()
-	rec := metrics.NewRecorder(l.cfg.GroundTruth, 500)
-	executed := make(map[uint64]struct{})
-	start := time.Now()
-	var lastArrival time.Time
-	res := &LiveResult{}
 	ticker := time.NewTicker(l.cfg.TickEvery)
 	defer ticker.Stop()
 
-	var windowIDs []int       // insertion order, for eviction
-	var evictedSinceSweep int // triggers pruning of the executed map
 	ingest := func(inc []*profile.Profile) {
 		t0 := time.Now()
 		for _, p := range inc {
-			col.Add(p)
-			res.Profiles++
+			st.col.Add(p)
+			st.res.Profiles++
 			if l.cfg.Window > 0 {
-				windowIDs = append(windowIDs, p.ID)
+				st.windowIDs = append(st.windowIDs, p.ID)
 			}
 		}
 		if l.cfg.Window > 0 {
-			for len(windowIDs) > l.cfg.Window {
-				col.Remove(windowIDs[0])
-				windowIDs = windowIDs[1:]
-				evictedSinceSweep++
+			for len(st.windowIDs) > l.cfg.Window {
+				st.col.Remove(st.windowIDs[0])
+				st.windowIDs = st.windowIDs[1:]
+				st.evictedSinceSweep++
 				l.m.evictions.Inc()
 			}
 			// Prune dedup entries of long-gone profiles once a full
@@ -310,106 +467,57 @@ func (l *Live) loop() {
 			// every Window evictions amortizes the O(|map|) scan to
 			// O(1) per eviction while keeping the map proportional
 			// to the profiles seen since the previous sweep.
-			if evictedSinceSweep >= l.cfg.Window {
-				evictedSinceSweep = 0
-				for key := range executed {
+			if st.evictedSinceSweep >= l.cfg.Window {
+				st.evictedSinceSweep = 0
+				for key := range st.executed {
 					x, y := profile.SplitPairKey(key)
-					if col.Profile(x) == nil || col.Profile(y) == nil {
-						delete(executed, key)
+					if st.col.Profile(x) == nil || st.col.Profile(y) == nil {
+						delete(st.executed, key)
 					}
 				}
 			}
 		}
-		l.strategy.UpdateIndex(col, inc)
+		l.strategy.UpdateIndex(st.col, inc)
 		now := time.Now()
-		if !lastArrival.IsZero() {
-			l.cfg.K.ObserveArrival(now.Sub(lastArrival))
+		if !st.lastArrival.IsZero() {
+			l.cfg.K.ObserveArrival(now.Sub(st.lastArrival))
 		}
-		lastArrival = now
+		st.lastArrival = now
 		l.m.profiles.Add(len(inc))
 		l.m.increments.Inc()
 		l.m.incSize.Observe(float64(len(inc)))
 		l.m.ingestSec.Observe(time.Since(t0).Seconds())
-		l.m.dedup.Set(int64(len(executed)))
+		l.m.dedup.Set(int64(len(st.executed)))
 	}
-	type job struct {
-		key    uint64
-		px, py *profile.Profile
-		sim    float64
-	}
+
 	matchPool := pool.New(l.cfg.Parallelism).Instrument(l.m.matchBusy, nil)
-	processBatch := func() {
-		k := l.cfg.K.K()
-		l.m.k.Set(int64(k))
-		batch := core.EmitBatch(l.strategy, k)
-		// Phase 1 (sequential): dedup and resolve profiles. A pair is
-		// marked executed only once its profiles resolve — comparisons
-		// skipped because a profile was evicted must not count, or the
-		// final Summary would disagree with the Stats() counters.
-		jobs := make([]job, 0, len(batch))
-		for _, c := range batch {
-			key := c.Key()
-			if _, dup := executed[key]; dup {
-				continue
-			}
-			px, py := col.Profile(c.X), col.Profile(c.Y)
-			if px == nil || py == nil {
-				l.m.skipped.Inc()
-				continue
-			}
-			executed[key] = struct{}{}
-			jobs = append(jobs, job{key: key, px: px, py: py})
-		}
-		if len(batch) > 0 {
-			l.m.batchSize.Observe(float64(len(jobs)))
-		}
-		// Phase 2: similarity computation — the expensive, pure part —
-		// fanned out across the worker pool. Verdicts land in the jobs
-		// slice indexed by batch position, so phase 3 sees the same
-		// sequence regardless of worker count. Small batches stay on the
-		// calling goroutine: fan-out overhead would exceed the work.
-		if matchPool.Serial() || len(jobs) < 4*matchPool.Workers() {
-			t0 := time.Now()
-			for i := range jobs {
-				jobs[i].sim = l.cfg.Matcher.Similarity(jobs[i].px, jobs[i].py)
-			}
-			if len(jobs) > 0 {
-				elapsed := time.Since(t0)
-				l.cfg.K.ObserveService(elapsed / time.Duration(len(jobs)))
-				l.m.seqSec.Observe(elapsed.Seconds())
-			}
-		} else {
-			t0 := time.Now()
-			matchPool.ForEach(len(jobs), func(i int) {
-				jobs[i].sim = l.cfg.Matcher.Similarity(jobs[i].px, jobs[i].py)
-			})
-			// Service time per comparison as the matcher stage sees it:
-			// wall time divided by batch size (workers overlap).
-			elapsed := time.Since(t0)
-			l.cfg.K.ObserveService(elapsed / time.Duration(len(jobs)))
-			l.m.parSec.Observe(elapsed.Seconds())
-		}
-		// Phase 3 (sequential): classification, clustering, reporting.
-		for _, j := range jobs {
-			isMatch := j.sim >= l.cfg.Matcher.Threshold
-			l.m.cmps.Inc()
-			if isMatch {
-				l.m.matches.Inc()
-				res.Matches++
-				if clusters.Merge(j.px.ID, j.py.ID) {
-					res.NewLinks++
-					l.m.newLinks.Inc()
+	// serialPool runs small batches inline on the pipeline goroutine with the
+	// same panic isolation TryForEach gives the parallel path.
+	serialPool := pool.New(1)
+	// prober, when the fallible matcher exposes its breaker, drives the
+	// degraded mode: an open breaker caps K at core.KMin.
+	var prober interface{ BreakerOpen() bool }
+	if l.cfg.ContextMatcher != nil {
+		prober, _ = l.cfg.ContextMatcher.(interface{ BreakerOpen() bool })
+	}
+
+	processBatch := func() { l.processBatch(st, matchPool, serialPool, prober) }
+
+	// drainBuffered folds increments still sitting in the incoming channel
+	// into the index. Push acknowledged them, so a snapshot taken now — via
+	// Checkpoint or after Interrupt — must contain them: acknowledged data
+	// survives a restore.
+	drainBuffered := func() {
+		for {
+			select {
+			case inc, ok := <-l.incoming:
+				if !ok {
+					return
 				}
-				if l.cfg.OnMatch != nil {
-					l.cfg.OnMatch(LiveMatch{X: j.px, Y: j.py, Similarity: j.sim, At: time.Now()})
-				}
+				ingest(inc)
+			default:
+				return
 			}
-			rec.Observe(time.Since(start), j.key)
-		}
-		l.m.pending.Set(int64(l.strategy.Pending()))
-		l.m.dedup.Set(int64(len(executed)))
-		if l.cfg.CheckInvariants {
-			l.verifyAccounting(executed)
 		}
 	}
 
@@ -423,20 +531,57 @@ func (l *Live) loop() {
 			}
 			ingest(inc)
 			processBatch()
+		case req := <-l.ctrl:
+			drainBuffered()
+			b, err := l.writeSnapshot(req.w, st)
+			req.reply <- ckptRes{bytes: b, err: err}
+		case <-l.intr:
+			drainBuffered()
+			st.res.Interrupted = true
+			open = false
 		case <-ticker.C:
 			if l.strategy.Pending() == 0 {
-				l.strategy.UpdateIndex(col, nil)
+				l.strategy.UpdateIndex(st.col, nil)
 			}
 			processBatch()
 		}
 	}
-	// Stream closed: drain all remaining prioritized work.
-	for {
+	// Stream closed: drain all remaining prioritized work — strategy queues
+	// AND the retry backlog — unless the run was interrupted. A pass that
+	// makes no progress (every job failing while the breaker is open) backs
+	// off briefly so the drain doesn't spin against a recovering matcher.
+	interrupted := func() bool {
+		select {
+		case <-l.intr:
+			return true
+		default:
+			return false
+		}
+	}
+	for !st.res.Interrupted {
+		if interrupted() {
+			st.res.Interrupted = true
+			break
+		}
+		select {
+		case req := <-l.ctrl:
+			b, err := l.writeSnapshot(req.w, st)
+			req.reply <- ckptRes{bytes: b, err: err}
+		default:
+		}
+		beforeCmps := l.m.cmps.Value()
+		beforeRetry := len(st.retryQ)
 		processBatch()
 		if l.strategy.Pending() > 0 {
 			continue
 		}
-		l.strategy.UpdateIndex(col, nil)
+		if len(st.retryQ) > 0 {
+			if l.m.cmps.Value() == beforeCmps && len(st.retryQ) >= beforeRetry {
+				time.Sleep(time.Millisecond) // let a breaker cooldown elapse
+			}
+			continue
+		}
+		l.strategy.UpdateIndex(st.col, nil)
 		if l.strategy.Pending() == 0 {
 			break
 		}
@@ -444,13 +589,18 @@ func (l *Live) loop() {
 	// The executed map is pruned under Window, so the counter — not the
 	// map size — is the source of truth for total comparisons. It equals
 	// len(executed) exactly when no pruning happened.
-	res.Comparisons = int(l.m.cmps.Value())
-	res.Matches = int(l.m.matches.Value())
-	res.Clusters = clusters.Clusters(2)
-	res.Elapsed = time.Since(start)
-	res.Curve = rec.Finish(res.Elapsed)
+	res := &LiveResult{
+		Profiles:    st.res.Profiles,
+		Comparisons: int(l.m.cmps.Value()),
+		Matches:     int(l.m.matches.Value()),
+		NewLinks:    st.res.NewLinks,
+		Clusters:    st.clusters.Clusters(2),
+		Elapsed:     time.Since(st.start),
+		Interrupted: st.res.Interrupted,
+	}
+	res.Curve = st.rec.Finish(res.Elapsed)
 	if l.cfg.CheckInvariants {
-		l.verifyAccounting(executed)
+		l.verifyAccounting(st)
 		if c, m := l.Stats(); res.Comparisons != c || res.Matches != m {
 			panic(fmt.Sprintf("stream: LiveResult (%d cmps, %d matches) disagrees with Stats() (%d, %d)",
 				res.Comparisons, res.Matches, c, m))
@@ -459,33 +609,219 @@ func (l *Live) loop() {
 	l.result = res
 }
 
+// job is one comparison prepared for the matcher.
+type job struct {
+	key      uint64
+	px, py   *profile.Profile
+	attempts int
+	sim      float64
+	ok       bool
+	err      error
+}
+
+// processBatch executes one findK-sized batch: retry backlog first, then
+// fresh strategy work; similarity in parallel with panic isolation; then the
+// sequential classify/cluster/record phase. Failed comparisons are requeued,
+// a panicked batch is voided and fully requeued.
+func (l *Live) processBatch(st *liveState, matchPool, serialPool *pool.Pool, prober interface{ BreakerOpen() bool }) {
+	k := l.cfg.K.K()
+	l.m.k.Set(int64(k))
+
+	// Phase 1 (sequential): assemble the batch. The retry backlog goes
+	// first — those pairs are already dedup-marked and must complete before
+	// new work competes for the matcher; then fresh strategy work up to k.
+	jobs := make([]job, 0, k)
+	nRetry := len(st.retryQ)
+	if nRetry > k {
+		nRetry = k
+	}
+	for _, rj := range st.retryQ[:nRetry] {
+		px, py := st.col.Profile(rj.x), st.col.Profile(rj.y)
+		if px == nil || py == nil {
+			// Evicted while waiting for retry: skipped, like any other
+			// emitted comparison that lost its profiles, and removed from
+			// the dedup map since it will never be counted.
+			l.m.skipped.Inc()
+			delete(st.executed, rj.key)
+			continue
+		}
+		jobs = append(jobs, job{key: rj.key, px: px, py: py, attempts: rj.attempts})
+	}
+	st.retryQ = append(st.retryQ[:0:0], st.retryQ[nRetry:]...)
+
+	batch := core.EmitBatch(l.strategy, k-len(jobs))
+	// A pair is marked executed only once its profiles resolve — comparisons
+	// skipped because a profile was evicted must not count, or the final
+	// Summary would disagree with the Stats() counters.
+	for _, c := range batch {
+		key := c.Key()
+		if _, dup := st.executed[key]; dup {
+			continue
+		}
+		px, py := st.col.Profile(c.X), st.col.Profile(c.Y)
+		if px == nil || py == nil {
+			l.m.skipped.Inc()
+			continue
+		}
+		st.executed[key] = struct{}{}
+		jobs = append(jobs, job{key: key, px: px, py: py})
+	}
+	if len(batch) > 0 || nRetry > 0 {
+		l.m.batchSize.Observe(float64(len(jobs)))
+	}
+
+	// Phase 2: similarity computation — the expensive, possibly fallible
+	// part — fanned out across the worker pool. Verdicts land in the jobs
+	// slice indexed by batch position, so phase 3 sees the same sequence
+	// regardless of worker count. Small batches stay on the calling
+	// goroutine: fan-out overhead would exceed the work. Both paths recover
+	// worker panics; a panicked batch is voided below.
+	evaluate := func(i int) {
+		j := &jobs[i]
+		if l.cfg.ContextMatcher != nil {
+			ok, err := l.cfg.ContextMatcher.Match(context.Background(), j.px, j.py)
+			j.ok, j.err = ok, err
+			if ok {
+				j.sim = 1
+			}
+		} else {
+			j.sim = l.cfg.Matcher.Similarity(j.px, j.py)
+			j.ok = j.sim >= l.cfg.Matcher.Threshold
+		}
+	}
+	var batchErr error
+	if matchPool.Serial() || len(jobs) < 4*matchPool.Workers() {
+		t0 := time.Now()
+		batchErr = serialPool.TryForEach(len(jobs), evaluate)
+		if len(jobs) > 0 && batchErr == nil {
+			elapsed := time.Since(t0)
+			l.cfg.K.ObserveService(elapsed / time.Duration(len(jobs)))
+			l.m.seqSec.Observe(elapsed.Seconds())
+		}
+	} else {
+		t0 := time.Now()
+		batchErr = matchPool.TryForEach(len(jobs), evaluate)
+		if batchErr == nil {
+			// Service time per comparison as the matcher stage sees it:
+			// wall time divided by batch size (workers overlap).
+			elapsed := time.Since(t0)
+			l.cfg.K.ObserveService(elapsed / time.Duration(len(jobs)))
+			l.m.parSec.Observe(elapsed.Seconds())
+		}
+	}
+	if batchErr != nil {
+		// A worker panicked: the batch fails deterministically as a whole.
+		// Partial verdicts are void (there is no record of which workers
+		// finished), nothing is counted, and every job is requeued — the
+		// panic poisons the batch, not the comparisons.
+		l.m.batchFailures.Inc()
+		l.setErr(batchErr)
+		for _, j := range jobs {
+			l.requeue(st, j)
+		}
+		l.finishBatch(st, prober)
+		return
+	}
+
+	// Phase 3 (sequential): classification, clustering, reporting. Failed
+	// comparisons are requeued, not classified — the matcher returned no
+	// verdict, and inventing one would corrupt both PC accounting and the
+	// cluster graph.
+	for _, j := range jobs {
+		if j.err != nil {
+			l.m.matchFailures.Inc()
+			l.requeue(st, j)
+			continue
+		}
+		l.m.cmps.Inc()
+		if j.ok {
+			l.m.matches.Inc()
+			st.res.Matches++
+			if st.clusters.Merge(j.px.ID, j.py.ID) {
+				st.res.NewLinks++
+				l.m.newLinks.Inc()
+			}
+			if l.cfg.OnMatch != nil {
+				l.cfg.OnMatch(LiveMatch{X: j.px, Y: j.py, Similarity: j.sim, At: time.Now()})
+			}
+		}
+		st.rec.Observe(time.Since(st.start), j.key)
+		if l.cfg.OnExecuted != nil {
+			l.cfg.OnExecuted(j.key)
+		}
+	}
+	l.finishBatch(st, prober)
+}
+
+// requeue places a failed job back on the retry queue, or abandons it once
+// RetryBudget is exhausted (removing it from the dedup map so the accounting
+// stays exact: the pair was never counted).
+func (l *Live) requeue(st *liveState, j job) {
+	attempts := j.attempts + 1
+	if l.cfg.RetryBudget > 0 && attempts > l.cfg.RetryBudget {
+		l.m.abandoned.Inc()
+		delete(st.executed, j.key)
+		return
+	}
+	l.m.requeues.Inc()
+	st.retryQ = append(st.retryQ, retryJob{key: j.key, x: j.px.ID, y: j.py.ID, attempts: attempts})
+}
+
+// finishBatch updates the per-batch gauges, drives the degraded-mode cap off
+// the matcher's breaker, and runs the accounting invariants.
+func (l *Live) finishBatch(st *liveState, prober interface{ BreakerOpen() bool }) {
+	if prober != nil {
+		if prober.BreakerOpen() {
+			if !l.cfg.K.Capped() {
+				l.cfg.K.SetCap(core.KMin)
+				l.m.degraded.Set(1)
+			}
+		} else if l.cfg.K.Capped() {
+			l.cfg.K.ClearCap()
+			l.m.degraded.Set(0)
+		}
+	}
+	l.m.pending.Set(int64(l.strategy.Pending()))
+	l.m.retryPending.Set(int64(len(st.retryQ)))
+	l.m.dedup.Set(int64(len(st.executed)))
+	if l.cfg.CheckInvariants {
+		l.verifyAccounting(st)
+	}
+}
+
 // verifyAccounting checks the pipeline's dedup/counter invariants between
 // batches (LiveConfig.CheckInvariants). It runs on the pipeline goroutine, so
-// the dedup map and the counters are mutually consistent at the call point.
-func (l *Live) verifyAccounting(executed map[uint64]struct{}) {
+// the dedup map, retry queue, and counters are mutually consistent at the
+// call point.
+func (l *Live) verifyAccounting(st *liveState) {
 	cmps := int(l.m.cmps.Value())
 	matches := int(l.m.matches.Value())
 	if matches > cmps {
 		panic(fmt.Sprintf("stream: %d matches exceed %d comparisons", matches, cmps))
 	}
-	// Every dedup entry was counted exactly once; pruning under Window only
-	// ever removes entries, so the map can fall below the counter but never
-	// above it — and with pruning disabled the two are equal.
-	if len(executed) > cmps {
-		panic(fmt.Sprintf("stream: dedup map holds %d pairs but only %d comparisons were counted", len(executed), cmps))
+	// Every dedup entry was either counted exactly once or is awaiting
+	// retry; pruning under Window only ever removes entries, so the map can
+	// fall below the sum but never above it — and with pruning disabled the
+	// two are equal.
+	if len(st.executed) > cmps+len(st.retryQ) {
+		panic(fmt.Sprintf("stream: dedup map holds %d pairs but only %d comparisons were counted (+%d retrying)",
+			len(st.executed), cmps, len(st.retryQ)))
 	}
-	if l.cfg.Window <= 0 && len(executed) != cmps {
-		panic(fmt.Sprintf("stream: dedup map holds %d pairs but %d comparisons were counted (no pruning active)", len(executed), cmps))
+	if l.cfg.Window <= 0 && len(st.executed) != cmps+len(st.retryQ) {
+		panic(fmt.Sprintf("stream: dedup map holds %d pairs but %d comparisons were counted and %d are retrying (no pruning active)",
+			len(st.executed), cmps, len(st.retryQ)))
 	}
-	if g := int(l.m.dedup.Value()); g != len(executed) {
-		panic(fmt.Sprintf("stream: dedup gauge %d disagrees with map size %d", g, len(executed)))
+	if g := int(l.m.dedup.Value()); g != len(st.executed) {
+		panic(fmt.Sprintf("stream: dedup gauge %d disagrees with map size %d", g, len(st.executed)))
 	}
 }
 
 // Drive pushes the dataset increments into a live pipeline at the given rate
 // (increments per second; <= 0 pushes as fast as possible), respecting ctx
 // cancellation — including during the inter-increment pause — then stops the
-// pipeline and returns the result. It is a convenience used by the examples
+// pipeline and returns the result. Cancellation interrupts rather than
+// drains: the result comes back promptly with Interrupted set, and the
+// pipeline remains checkpointable. It is a convenience used by the examples
 // and pierrun.
 func Drive(ctx context.Context, l *Live, incs [][]*profile.Profile, rate float64) *LiveResult {
 	var interval time.Duration
@@ -495,10 +831,12 @@ func Drive(ctx context.Context, l *Live, incs [][]*profile.Profile, rate float64
 	for i, inc := range incs {
 		select {
 		case <-ctx.Done():
-			return l.Stop()
+			return l.Interrupt()
 		default:
 		}
-		l.Push(inc)
+		if err := l.Push(inc); err != nil {
+			return l.Stop()
+		}
 		if interval > 0 && i < len(incs)-1 {
 			// A timer + select instead of time.Sleep so cancellation
 			// interrupts the pause instead of waiting it out.
@@ -506,10 +844,286 @@ func Drive(ctx context.Context, l *Live, incs [][]*profile.Profile, rate float64
 			select {
 			case <-ctx.Done():
 				t.Stop()
-				return l.Stop()
+				return l.Interrupt()
 			case <-t.C:
 			}
 		}
 	}
 	return l.Stop()
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint / restore
+
+// liveMeta is the snapshot's identity section: the restore-time configuration
+// must reproduce it exactly, because strategy state and window accounting are
+// only meaningful under the configuration that produced them.
+type liveMeta struct {
+	Strategy     string
+	CleanClean   bool
+	Window       int
+	MaxBlockSize int
+}
+
+// liveAccounting is the snapshot image of the pipeline's bookkeeping: the
+// dedup map, window order, retry backlog, and the cumulative counters.
+type liveAccounting struct {
+	Executed          []uint64
+	WindowIDs         []int
+	EvictedSinceSweep int
+	Retry             []retryImage
+
+	Profiles   int64
+	Increments int64
+	Cmps       int64
+	Matches    int64
+	NewLinks   int64
+	Skipped    int64
+	Evictions  int64
+
+	ElapsedNS int64
+}
+
+type retryImage struct {
+	Key      uint64
+	X, Y     int
+	Attempts int
+}
+
+// Checkpoint writes a consistent snapshot of the entire pipeline state to w
+// and returns the number of bytes written. While the pipeline is running, the
+// write is serviced by the pipeline goroutine between batches, so no batch is
+// ever split by a checkpoint; after Stop or Interrupt it runs directly. The
+// strategy must implement core.Persistent or Checkpoint fails.
+func (l *Live) Checkpoint(w io.Writer) (int64, error) {
+	select {
+	case <-l.done:
+		return l.writeSnapshot(w, l.st)
+	default:
+	}
+	req := ckptReq{w: w, reply: make(chan ckptRes, 1)}
+	select {
+	case l.ctrl <- req:
+		select {
+		case r := <-req.reply:
+			return r.bytes, r.err
+		case <-l.done:
+			// The loop exited while holding the request; it may have
+			// answered just before closing, otherwise write directly.
+			select {
+			case r := <-req.reply:
+				return r.bytes, r.err
+			default:
+				return l.writeSnapshot(w, l.st)
+			}
+		}
+	case <-l.done:
+		return l.writeSnapshot(w, l.st)
+	}
+}
+
+// writeSnapshot serializes st to w. Called either on the pipeline goroutine
+// (running pipeline) or on the caller's after done closed (quiescent state —
+// the channel close is the happens-before edge).
+func (l *Live) writeSnapshot(w io.Writer, st *liveState) (int64, error) {
+	p, ok := l.strategy.(core.Persistent)
+	if !ok {
+		return 0, fmt.Errorf("stream: strategy %s does not support checkpointing", l.strategy.Name())
+	}
+	t0 := time.Now()
+	sw, err := snapshot.NewWriter(w)
+	if err != nil {
+		return 0, err
+	}
+	meta := liveMeta{
+		Strategy:     l.strategy.Name(),
+		CleanClean:   l.cfg.CleanClean,
+		Window:       l.cfg.Window,
+		MaxBlockSize: l.cfg.MaxBlockSize,
+	}
+	sw.Gob("meta", &meta)
+	sw.Section("collection", st.col.Save)
+	sw.Section("strategy", p.SaveState)
+	kst := l.cfg.K.State()
+	sw.Gob("findk", &kst)
+	cst := st.clusters.State()
+	sw.Gob("clusters", &cst)
+	rst := st.rec.State()
+	sw.Gob("recorder", &rst)
+	acc := liveAccounting{
+		Executed:          make([]uint64, 0, len(st.executed)),
+		WindowIDs:         append([]int(nil), st.windowIDs...),
+		EvictedSinceSweep: st.evictedSinceSweep,
+		Retry:             make([]retryImage, 0, len(st.retryQ)),
+		Profiles:          int64(l.m.profiles.Value()),
+		Increments:        int64(l.m.increments.Value()),
+		Cmps:              int64(l.m.cmps.Value()),
+		Matches:           int64(l.m.matches.Value()),
+		NewLinks:          int64(l.m.newLinks.Value()),
+		Skipped:           int64(l.m.skipped.Value()),
+		Evictions:         int64(l.m.evictions.Value()),
+		ElapsedNS:         int64(time.Since(st.start)),
+	}
+	for key := range st.executed {
+		acc.Executed = append(acc.Executed, key)
+	}
+	sort.Slice(acc.Executed, func(i, j int) bool { return acc.Executed[i] < acc.Executed[j] })
+	for _, rj := range st.retryQ {
+		acc.Retry = append(acc.Retry, retryImage{Key: rj.key, X: rj.x, Y: rj.y, Attempts: rj.attempts})
+	}
+	if err := sw.Gob("accounting", &acc); err != nil {
+		return sw.Bytes(), err
+	}
+	l.m.ckptTotal.Inc()
+	l.m.ckptBytes.Set(sw.Bytes())
+	l.m.ckptSec.Observe(time.Since(t0).Seconds())
+	return sw.Bytes(), nil
+}
+
+// RestoreLive reconstructs a live pipeline from a checkpoint and resumes it.
+// strategy must be a freshly constructed instance of the same strategy and
+// configuration that wrote the snapshot (its state is loaded from the
+// snapshot); cfg must reproduce the original CleanClean/Window/MaxBlockSize/
+// Keyer, and should use a fresh metrics registry — the cumulative counters
+// are restored by adding the checkpointed values, so a shared registry with
+// prior counts would double-count. The restored pipeline continues exactly
+// where the checkpoint was taken: same queue order, same dedup state, same
+// retry backlog, same adaptive-K trajectory.
+func RestoreLive(r io.Reader, strategy core.Strategy, cfg LiveConfig) (*Live, error) {
+	p, ok := strategy.(core.Persistent)
+	if !ok {
+		return nil, fmt.Errorf("stream: strategy %s does not support checkpointing", strategy.Name())
+	}
+	sr, err := snapshot.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var meta liveMeta
+	if err := sr.Gob("meta", &meta); err != nil {
+		return nil, err
+	}
+	if meta.Strategy != strategy.Name() {
+		return nil, fmt.Errorf("stream: snapshot was written by strategy %s, restoring into %s", meta.Strategy, strategy.Name())
+	}
+	if meta.CleanClean != cfg.CleanClean || meta.Window != cfg.Window || meta.MaxBlockSize != cfg.MaxBlockSize {
+		return nil, fmt.Errorf("stream: snapshot configuration (cleanClean=%v window=%d maxBlockSize=%d) does not match restore configuration (cleanClean=%v window=%d maxBlockSize=%d)",
+			meta.CleanClean, meta.Window, meta.MaxBlockSize, cfg.CleanClean, cfg.Window, cfg.MaxBlockSize)
+	}
+	var col *blocking.Collection
+	if err := sr.Section("collection", func(r io.Reader) error {
+		var err error
+		col, err = blocking.Load(r, cfg.Keyer)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := sr.Section("strategy", p.LoadState); err != nil {
+		return nil, err
+	}
+	var kst core.KState
+	if err := sr.Gob("findk", &kst); err != nil {
+		return nil, err
+	}
+	var cst cluster.State
+	if err := sr.Gob("clusters", &cst); err != nil {
+		return nil, err
+	}
+	var rst metrics.RecorderState
+	if err := sr.Gob("recorder", &rst); err != nil {
+		return nil, err
+	}
+	var acc liveAccounting
+	if err := sr.Gob("accounting", &acc); err != nil {
+		return nil, err
+	}
+
+	l := newLive(strategy, cfg)
+	l.cfg.K.RestoreState(kst)
+	l.m.profiles.Add(int(acc.Profiles))
+	l.m.increments.Add(int(acc.Increments))
+	l.m.cmps.Add(int(acc.Cmps))
+	l.m.matches.Add(int(acc.Matches))
+	l.m.newLinks.Add(int(acc.NewLinks))
+	l.m.skipped.Add(int(acc.Skipped))
+	l.m.evictions.Add(int(acc.Evictions))
+	l.m.k.Set(int64(l.cfg.K.Current()))
+
+	st := &liveState{
+		col:               col,
+		clusters:          cluster.Restore(cst),
+		rec:               metrics.RestoreRecorder(rst, l.cfg.GroundTruth),
+		executed:          make(map[uint64]struct{}, len(acc.Executed)),
+		windowIDs:         append([]int(nil), acc.WindowIDs...),
+		evictedSinceSweep: acc.EvictedSinceSweep,
+		res: &liveCounters{
+			Profiles: int(acc.Profiles),
+			Matches:  int(acc.Matches),
+			NewLinks: int(acc.NewLinks),
+		},
+		start: time.Now().Add(-time.Duration(acc.ElapsedNS)),
+	}
+	for _, key := range acc.Executed {
+		st.executed[key] = struct{}{}
+	}
+	for _, ri := range acc.Retry {
+		st.retryQ = append(st.retryQ, retryJob{key: ri.Key, x: ri.X, y: ri.Y, attempts: ri.Attempts})
+	}
+	l.m.dedup.Set(int64(len(st.executed)))
+	l.m.retryPending.Set(int64(len(st.retryQ)))
+	l.st = st
+	go l.loop(st)
+	return l, nil
+}
+
+// SnapshotInfo is the inspectable summary of a checkpoint: its identity and
+// cumulative counters, without the heavyweight state.
+type SnapshotInfo struct {
+	Strategy     string
+	CleanClean   bool
+	Window       int
+	MaxBlockSize int
+
+	Profiles     int
+	Increments   int
+	Comparisons  int
+	Matches      int
+	RetryPending int
+	// Executed is the sorted dedup-map pair keys at checkpoint time (the
+	// counted comparisons plus the retry backlog).
+	Executed []uint64
+}
+
+// InspectSnapshot reads a checkpoint's metadata and accounting without
+// restoring it — for tooling, debugging, and the recovery oracles.
+func InspectSnapshot(r io.Reader) (*SnapshotInfo, error) {
+	sr, err := snapshot.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var meta liveMeta
+	if err := sr.Gob("meta", &meta); err != nil {
+		return nil, err
+	}
+	skip := func(io.Reader) error { return nil }
+	for _, name := range []string{"collection", "strategy", "findk", "clusters", "recorder"} {
+		if err := sr.Section(name, skip); err != nil {
+			return nil, err
+		}
+	}
+	var acc liveAccounting
+	if err := sr.Gob("accounting", &acc); err != nil {
+		return nil, err
+	}
+	return &SnapshotInfo{
+		Strategy:     meta.Strategy,
+		CleanClean:   meta.CleanClean,
+		Window:       meta.Window,
+		MaxBlockSize: meta.MaxBlockSize,
+		Profiles:     int(acc.Profiles),
+		Increments:   int(acc.Increments),
+		Comparisons:  int(acc.Cmps),
+		Matches:      int(acc.Matches),
+		RetryPending: len(acc.Retry),
+		Executed:     acc.Executed,
+	}, nil
 }

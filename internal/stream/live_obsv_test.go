@@ -2,7 +2,7 @@ package stream
 
 import (
 	"context"
-	"strings"
+	"errors"
 	"testing"
 	"time"
 
@@ -92,9 +92,9 @@ func TestLiveDedupMapBoundedUnderWindow(t *testing.T) {
 	}
 }
 
-// TestLivePushAfterStopPanics covers the stream layer's guard: Push after
-// Stop must fail with a descriptive panic, not "send on closed channel".
-func TestLivePushAfterStopPanics(t *testing.T) {
+// TestLivePushAfterStopErrors covers the stream layer's guard: Push after
+// Stop must fail with ErrStopped, not "send on closed channel".
+func TestLivePushAfterStopErrors(t *testing.T) {
 	d := dataset.DA(0.02, 43)
 	l := LiveRun(core.NewIPES(core.DefaultConfig()), LiveConfig{
 		CleanClean:   true,
@@ -102,19 +102,13 @@ func TestLivePushAfterStopPanics(t *testing.T) {
 		Matcher:      match.NewMatcher(match.JS),
 		TickEvery:    time.Millisecond,
 	})
-	l.Push(d.Increments(2)[0])
+	if err := l.Push(d.Increments(2)[0]); err != nil {
+		t.Fatalf("Push on a running pipeline = %v", err)
+	}
 	l.Stop()
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("Push after Stop did not panic")
-		}
-		msg, ok := r.(string)
-		if !ok || !strings.Contains(msg, "Push") || !strings.Contains(msg, "Stop") {
-			t.Errorf("panic message %v does not explain the misuse", r)
-		}
-	}()
-	l.Push(d.Increments(2)[1])
+	if err := l.Push(d.Increments(2)[1]); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Push after Stop = %v, want ErrStopped", err)
+	}
 }
 
 // TestLiveStopIdempotent verifies repeated Stop calls return the same result

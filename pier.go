@@ -25,6 +25,7 @@
 package pier
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -231,6 +232,22 @@ type Options struct {
 	// IndexCapacity bounds the comparison index; 0 means the default
 	// (100000), negative means unbounded.
 	IndexCapacity int
+	// Matcher, when set, replaces MatchFunc with a caller-supplied pairwise
+	// classifier that may fail — a remote model, a service call. The
+	// pipeline wraps it in a fault envelope: per-comparison timeout
+	// (MatchTimeout), exponential-backoff retries (MatchRetries), and a
+	// circuit breaker that, while open, requeues in-flight comparisons and
+	// tightens the emitted batch size until the matcher recovers. Failed
+	// comparisons are retried until they succeed — never dropped.
+	Matcher MatcherFunc
+	// MatchTimeout bounds one Matcher attempt; 0 means the default (100ms),
+	// negative disables the timeout. Ignored unless Matcher is set.
+	MatchTimeout time.Duration
+	// MatchRetries is the number of in-place retry attempts after a failed
+	// Matcher call before the comparison goes back to the retry queue; 0
+	// means the default (2), negative disables in-place retries. Ignored
+	// unless Matcher is set.
+	MatchRetries int
 	// OnMatch, if set, is invoked synchronously for every detected
 	// duplicate, as soon as it is found.
 	OnMatch func(Match)
@@ -265,6 +282,36 @@ type Options struct {
 // KeyerFunc derives the blocking keys of a profile. Profiles that share at
 // least one key become comparison candidates.
 type KeyerFunc func(Profile) []string
+
+// MatcherFunc is a caller-supplied pairwise duplicate classifier that may
+// fail. It must respect ctx cancellation for the pipeline's per-comparison
+// timeout to be effective; returning an error marks the attempt failed (the
+// comparison is retried, never dropped).
+type MatcherFunc func(ctx context.Context, x, y Profile) (bool, error)
+
+// contextMatcher wraps Options.Matcher in the retry/timeout/breaker
+// envelope, or returns nil when no custom matcher is configured.
+func (o Options) contextMatcher() match.ContextMatcher {
+	if o.Matcher == nil {
+		return nil
+	}
+	custom := o.Matcher
+	inner := match.ContextFunc(func(ctx context.Context, a, b *profile.Profile) (bool, error) {
+		return custom(ctx, toPublicProfile(a), toPublicProfile(b))
+	})
+	fcfg := match.DefaultFallibleConfig()
+	if o.MatchTimeout > 0 {
+		fcfg.Timeout = o.MatchTimeout
+	} else if o.MatchTimeout < 0 {
+		fcfg.Timeout = 0
+	}
+	if o.MatchRetries > 0 {
+		fcfg.MaxRetries = o.MatchRetries
+	} else if o.MatchRetries < 0 {
+		fcfg.MaxRetries = 0
+	}
+	return match.NewFallible(inner, fcfg)
+}
 
 // keyer resolves the blocking-key extractor.
 func (o Options) keyer() blocking.Keyer {

@@ -1,6 +1,7 @@
 package pier_test
 
 import (
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -132,18 +133,18 @@ func TestPipelineStreaming(t *testing.T) {
 	}
 }
 
-func TestPushAfterStopPanics(t *testing.T) {
+func TestPushAfterStopErrors(t *testing.T) {
 	p, err := pier.NewPipeline(pier.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
+	if err := p.Push([]pier.Profile{{Key: "w"}}); err != nil {
+		t.Fatalf("Push on a running pipeline = %v", err)
+	}
 	p.Stop()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("Push after Stop did not panic")
-		}
-	}()
-	p.Push([]pier.Profile{{Key: "x"}})
+	if err := p.Push([]pier.Profile{{Key: "x"}}); !errors.Is(err, pier.ErrStopped) {
+		t.Fatalf("Push after Stop = %v, want pier.ErrStopped", err)
+	}
 }
 
 func TestDirtyER(t *testing.T) {

@@ -1,12 +1,18 @@
 package pier
 
 import (
+	"errors"
 	"sync"
 
+	"pier/internal/core"
+	"pier/internal/match"
 	"pier/internal/obsv"
 	"pier/internal/profile"
 	"pier/internal/stream"
 )
+
+// ErrStopped is returned by Push after Stop has closed the pipeline.
+var ErrStopped = errors.New("pier: Push after Stop")
 
 // Pipeline is a running incremental, progressive ER pipeline over a live
 // stream. Create it with NewPipeline, feed it with Push from any goroutine
@@ -27,25 +33,42 @@ type Pipeline struct {
 // NewPipeline starts a pipeline with the given options. It returns an error
 // only for an unknown Options.Algorithm.
 func NewPipeline(opt Options) (*Pipeline, error) {
+	p, strategy, cfg, err := build(opt)
+	if err != nil {
+		return nil, err
+	}
+	p.live = stream.LiveRun(strategy, cfg)
+	return p, nil
+}
+
+// build assembles an unstarted pipeline from the options: the strategy, the
+// live configuration (match reporting wired through the pipeline's profile
+// registry), and the Pipeline shell. NewPipeline starts it fresh; Restore
+// starts it from a checkpoint.
+func build(opt Options) (*Pipeline, core.Strategy, stream.LiveConfig, error) {
 	// One registry serves both parallel stages: the strategy's candidate-
 	// generation pool and the live matcher pool report side by side.
 	reg := obsv.NewRegistry()
 	strategy, err := opt.strategy(reg)
 	if err != nil {
-		return nil, err
+		return nil, nil, stream.LiveConfig{}, err
 	}
 	p := &Pipeline{}
 	cfg := stream.LiveConfig{
-		CleanClean:   opt.CleanClean,
-		MaxBlockSize: opt.maxBlockSize(),
-		Matcher:      opt.matcher(),
-		TickEvery:    opt.TickEvery,
-		Parallelism:  opt.Parallelism,
-		Keyer:        opt.keyer(),
-		Window:       opt.Window,
-		Metrics:      reg,
+		CleanClean:     opt.CleanClean,
+		MaxBlockSize:   opt.maxBlockSize(),
+		Matcher:        opt.matcher(),
+		ContextMatcher: opt.contextMatcher(),
+		TickEvery:      opt.TickEvery,
+		Parallelism:    opt.Parallelism,
+		Keyer:          opt.keyer(),
+		Window:         opt.Window,
+		Metrics:        reg,
 
 		CheckInvariants: opt.CheckInvariants,
+	}
+	if f, ok := cfg.ContextMatcher.(*match.Fallible); ok {
+		f.Instrument(reg) // retry/timeout/breaker counters on the shared endpoint
 	}
 	if opt.OnMatch != nil {
 		onMatch := opt.OnMatch
@@ -56,24 +79,26 @@ func NewPipeline(opt Options) (*Pipeline, error) {
 			onMatch(Match{X: x, Y: y, Similarity: m.Similarity})
 		}
 	}
-	p.live = stream.LiveRun(strategy, cfg)
-	return p, nil
+	return p, strategy, cfg, nil
 }
 
-// Push feeds one increment of profiles to the pipeline. It must not be
-// called after Stop.
-func (p *Pipeline) Push(increment []Profile) {
+// Push feeds one increment of profiles to the pipeline. After Stop it
+// returns ErrStopped.
+func (p *Pipeline) Push(increment []Profile) error {
 	p.mu.Lock()
 	if p.stopped {
 		p.mu.Unlock()
-		panic("pier: Push after Stop")
+		return ErrStopped
 	}
 	internal := make([]*profile.Profile, len(increment))
 	for i, pr := range increment {
 		internal[i] = p.convert(pr)
 	}
 	p.mu.Unlock()
-	p.live.Push(internal)
+	if err := p.live.Push(internal); err != nil {
+		return ErrStopped
+	}
+	return nil
 }
 
 // convert registers a caller profile under a fresh internal ID. The caller
@@ -180,7 +205,9 @@ func Resolve(profiles []Profile, opt Options) ([]Match, Summary, error) {
 	if err != nil {
 		return nil, Summary{}, err
 	}
-	p.Push(profiles)
+	if err := p.Push(profiles); err != nil {
+		return nil, Summary{}, err
+	}
 	summary := p.Stop()
 	return matches, summary, nil
 }
