@@ -25,8 +25,11 @@ import (
 	"pier/internal/core"
 	"pier/internal/dataset"
 	"pier/internal/experiments"
+	"pier/internal/intern"
 	"pier/internal/match"
 	"pier/internal/metablocking"
+	"pier/internal/pool"
+	"pier/internal/profile"
 	"pier/internal/stream"
 )
 
@@ -303,6 +306,60 @@ func BenchmarkStrategyUpdateIndex(b *testing.B) {
 				b.ReportMetric(float64(d.NumProfiles()*b.N)/b.Elapsed().Seconds(), "profiles/s")
 			})
 		}
+	}
+}
+
+// BenchmarkInternThroughput measures the symbol table on the token stream the
+// blocking index actually sees: every token of every movies profile, in
+// stream order, interned against one growing table. The mix matters — early
+// tokens are all misses (growth path), late tokens mostly hits (read-lock
+// fast path) — so the number is the amortized per-token cost of the interned
+// index, not a cache-friendly microloop over a fixed vocabulary.
+func BenchmarkInternThroughput(b *testing.B) {
+	d := dataset.Movies(0.08, 1)
+	var toks []string
+	for _, p := range d.Profiles {
+		for _, a := range p.Attributes {
+			toks = append(toks, profile.Tokenize(a.Value)...)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := intern.New(1 << 12)
+		buf := make([]intern.Sym, 0, 64)
+		for _, tok := range toks {
+			buf = append(buf[:0], t.Intern(tok))
+		}
+		_ = buf
+	}
+	b.ReportMetric(float64(len(toks)*b.N)/b.Elapsed().Seconds(), "tokens/s")
+}
+
+// BenchmarkShardedUpdateIndex measures batch ingest through the sharded index
+// at shard counts 1, 4, and 8: per increment, AddBatch fans tokenization and
+// shard transitions over four workers, then I-PCS integrates the increment
+// and a batch drains. shards=1 is the serial-locked layout; higher counts
+// only relieve lock contention, so on a single-core runner parity across
+// shard counts is the expected (and asserted-elsewhere) result.
+func BenchmarkShardedUpdateIndex(b *testing.B) {
+	d := dataset.Movies(0.08, 1)
+	incs := d.Increments(20)
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Parallelism = 4
+			workers := pool.New(4)
+			for i := 0; i < b.N; i++ {
+				s := core.NewIPCS(cfg)
+				col := blocking.NewCollectionSharded(d.CleanClean, stream.DefaultMaxBlockSize, nil, shards)
+				for _, inc := range incs {
+					col.AddBatch(inc, workers)
+					s.UpdateIndex(col, inc)
+					core.EmitBatch(s, 256)
+				}
+			}
+			b.ReportMetric(float64(d.NumProfiles()*b.N)/b.Elapsed().Seconds(), "profiles/s")
+		})
 	}
 }
 

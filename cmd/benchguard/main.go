@@ -1,0 +1,117 @@
+// Command benchguard is the allocation-regression gate for the benchmark
+// smoke job: it reads `go test -bench ... -benchmem` output on stdin,
+// extracts allocs/op per benchmark, and compares each against a committed
+// baseline (the guard_baseline section of BENCH_intern.json). Allocations are
+// the guarded metric because they are stable across runner hardware — ns/op
+// on shared CI machines is far too noisy to gate on, but an allocs/op jump is
+// a real code change every time.
+//
+// Usage:
+//
+//	go test -run TestNothing -bench BenchmarkStrategyUpdateIndex -benchtime=5x -benchmem . | \
+//	    go run ./cmd/benchguard -baseline BENCH_intern.json
+//
+// The run fails (exit 1) when any guarded benchmark's allocs/op exceeds its
+// baseline by more than -max-regress (default 10%), and when a guarded
+// benchmark is missing from the input — a gate that silently stops measuring
+// is worse than no gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// baselineFile is the slice of BENCH_intern.json the guard consumes; other
+// sections are recording, not gating.
+type baselineFile struct {
+	GuardBaseline map[string]float64 `json:"guard_baseline"`
+}
+
+// benchLine matches one -benchmem result line, capturing the benchmark name
+// (with sub-benchmark path, GOMAXPROCS suffix still attached) and allocs/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+.*?\s(\d+)\s+allocs/op`)
+
+// stripProcs removes the trailing -GOMAXPROCS from a benchmark name, so
+// baselines are portable across runner core counts.
+func stripProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_intern.json", "JSON file with a guard_baseline map of benchmark name to allocs/op")
+	maxRegress := flag.Float64("max-regress", 0.10, "maximum allowed fractional allocs/op increase over baseline")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: parse %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	if len(base.GuardBaseline) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %s has no guard_baseline entries\n", *baselinePath)
+		os.Exit(2)
+	}
+
+	got := make(map[string]float64)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the output through so CI logs keep the raw numbers
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		allocs, _ := strconv.ParseFloat(m[2], 64)
+		// Keep the worst (highest) observation when -count repeats a benchmark.
+		name := stripProcs(m[1])
+		if prev, ok := got[name]; !ok || allocs > prev {
+			got[name] = allocs
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: read stdin: %v\n", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	for name, want := range base.GuardBaseline {
+		have, ok := got[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: guarded benchmark missing from input\n", name)
+			failed = true
+			continue
+		}
+		limit := want * (1 + *maxRegress)
+		switch {
+		case have > limit:
+			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: %.0f allocs/op exceeds baseline %.0f by more than %.0f%% (limit %.0f)\n",
+				name, have, want, *maxRegress*100, limit)
+			failed = true
+		case have < want:
+			fmt.Printf("benchguard: ok   %s: %.0f allocs/op (improved from baseline %.0f — consider re-recording)\n", name, have, want)
+		default:
+			fmt.Printf("benchguard: ok   %s: %.0f allocs/op (baseline %.0f, limit %.0f)\n", name, have, want, limit)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

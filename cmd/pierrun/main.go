@@ -95,6 +95,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	window := fs.Int("window", 0, "profile window for unbounded streams (0 keeps everything)")
 	metricsAddr := fs.String("metrics", "", "serve /metrics and /debug/vars on this address (e.g. :9090; empty disables)")
 	parallelism := fs.Int("parallelism", 0, "worker count of the parallel pipeline stages (0 = one per CPU, 1 = exact serial)")
+	shards := fs.Int("shards", 0, "blocking-index shard count, rounded up to a power of two (0 = heuristic, 1 = unsharded; results are identical for every value)")
 	ckptPath := fs.String("checkpoint", "", "write the pipeline state to this file on completion (and periodically with -checkpoint-every)")
 	ckptEvery := fs.Int("checkpoint-every", 0, "also checkpoint every N increments (requires -checkpoint)")
 	restorePath := fs.String("restore", "", "resume from a checkpoint file instead of starting fresh")
@@ -217,6 +218,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		GroundTruth:  d.GroundTruth,
 		Window:       *window,
 		Parallelism:  *parallelism,
+		Shards:       *shards,
 		Metrics:      reg,
 	}
 	found := 0

@@ -27,6 +27,14 @@ type IBase struct {
 	cfg   core.Config
 	queue []metablocking.Comparison
 	head  int
+
+	// Reusable per-profile generation scratch, mirroring the PIER strategies:
+	// UpdateIndex is single-writer per the Strategy contract, so the buffers
+	// are recycled across profiles and increments.
+	acc      metablocking.Accumulator
+	blocks   []*blocking.Block
+	filtered []*blocking.Block
+	ghosted  []*blocking.Block
 }
 
 // NewIBase returns the I-BASE baseline strategy.
@@ -47,9 +55,17 @@ func (s *IBase) KPolicy() *core.AdaptiveK { return core.NewFixedK(1 << 30) }
 func (s *IBase) UpdateIndex(col *blocking.Collection, delta []*profile.Profile) time.Duration {
 	var cost time.Duration
 	for _, p := range delta {
-		blocks := blocking.FilterTopR(col.BlocksOf(p.ID), s.cfg.FilterRatio)
-		blocks = blocking.Ghost(blocks, s.cfg.Beta)
-		cands := metablocking.Candidates(col, p, blocks, s.cfg.Scheme)
+		s.blocks = col.AppendBlocksOf(p.ID, s.blocks[:0])
+		blocks := s.blocks
+		if r := s.cfg.FilterRatio; r > 0 && r < 1 && len(blocks) > 0 {
+			s.filtered = blocking.FilterTopRAppend(s.filtered[:0], blocks, r)
+			blocks = s.filtered
+		}
+		if s.cfg.Beta > 0 && len(blocks) > 0 {
+			s.ghosted = blocking.GhostAppend(s.ghosted[:0], blocks, s.cfg.Beta)
+			blocks = s.ghosted
+		}
+		cands := s.acc.Candidates(col, p, blocks, s.cfg.Scheme)
 		cost += s.cfg.Costs.Generate(len(cands))
 		s.queue = append(s.queue, metablocking.IWNP(cands)...)
 	}

@@ -10,13 +10,24 @@
 // whenever their values overlap. Blocking is *incremental*: Add integrates a
 // single profile into the live block collection in time proportional to its
 // token count, never recomputing existing blocks.
+//
+// Internally every blocking key is interned to a dense uint32 symbol
+// (internal/intern) and the block index is sharded by symbol (power-of-two
+// shard count, one lock per shard): posting lists, purge tombstones and the
+// profile→blocks index all operate on symbols, and AddBatch fans an
+// increment's postings out with one worker per shard while reproducing the
+// serial Add transition exactly. See DESIGN.md §10.
 package blocking
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
+	"pier/internal/intern"
+	"pier/internal/pool"
 	"pier/internal/profile"
 )
 
@@ -25,6 +36,8 @@ import (
 type Block struct {
 	// Key is the token that defines the block.
 	Key string
+	// Sym is the interned symbol of Key in the owning collection's table.
+	Sym intern.Sym
 	// A and B hold the profile IDs per source, in arrival order. Dirty ER
 	// uses A only.
 	A, B []int
@@ -43,25 +56,43 @@ func (b *Block) Comparisons(cleanClean bool) int {
 	return n * (n - 1) / 2
 }
 
+// shard is one partition of the block index: the live blocks and purge
+// tombstones of every symbol s with s & mask == shard index. The mutex
+// serializes concurrent ingest into the shard (AddBatch runs one worker per
+// shard); readers follow the collection-wide single-writer contract instead
+// of locking.
+type shard struct {
+	mu     sync.Mutex
+	blocks map[intern.Sym]*Block
+	purged map[intern.Sym]struct{}
+}
+
 // Collection is an incrementally maintained block collection plus the
-// profile registry for all profiles seen so far. It is not safe for
-// concurrent use; the pipeline runners serialize access.
+// profile registry for all profiles seen so far. Apart from AddBatch's
+// internal fan-out it is not safe for concurrent use; the pipeline runners
+// serialize access.
 type Collection struct {
 	cleanClean   bool
 	maxBlockSize int // purge threshold; 0 disables purging
 	keyer        Keyer
 
-	blocks   map[string]*Block
-	purged   map[string]struct{} // tombstones of purged oversized blocks
+	tab    *intern.Table
+	shards []shard
+	mask   intern.Sym // len(shards)-1; shard of sym s is s & mask
+
 	profiles map[int]*profile.Profile
-	ofProf   map[int][]string // profile ID -> keys of blocks it was added to
+	ofProf   map[int][]intern.Sym // profile ID -> symbols of blocks it was added to
 
 	version uint64 // bumped on every mutation, for cache invalidation
+
+	batchSyms [][]intern.Sym // AddBatch scratch: per-profile interned symbols
+	batchKept [][]bool       // AddBatch scratch: per-token kept flags
 }
 
 // Keyer extracts the blocking keys of a profile. The default is
 // schema-agnostic token blocking (Profile.Tokens); profile.QGramKeys and
-// profile.SuffixKeys provide typo-robust alternatives.
+// profile.SuffixKeys provide typo-robust alternatives. Keyers must return
+// duplicate-free key lists (all built-in ones do).
 type Keyer func(*profile.Profile) []string
 
 // NewCollection returns an empty collection. cleanClean selects Clean-Clean
@@ -69,28 +100,103 @@ type Keyer func(*profile.Profile) []string
 // any block growing beyond that many profiles is dropped entirely and stays
 // dropped (its token is too frequent to be discriminative).
 func NewCollection(cleanClean bool, maxBlockSize int) *Collection {
-	return NewCollectionKeyed(cleanClean, maxBlockSize, nil)
+	return NewCollectionSharded(cleanClean, maxBlockSize, nil, 0)
 }
 
 // NewCollectionKeyed is NewCollection with a custom blocking-key extractor;
 // a nil keyer means token blocking.
 func NewCollectionKeyed(cleanClean bool, maxBlockSize int, keyer Keyer) *Collection {
+	return NewCollectionSharded(cleanClean, maxBlockSize, keyer, 0)
+}
+
+// NewCollectionSharded is NewCollectionKeyed with an explicit shard count.
+// shards is rounded up to a power of two and clamped to [1, 256]; shards <= 0
+// selects the default heuristic: the smallest power of two >= GOMAXPROCS,
+// capped at 64 (one ingest worker per shard saturates the CPUs; more shards
+// only buy finer purge-lock granularity). The shard count is an ingest
+// concurrency knob, never a semantic one: the collection's observable state
+// is identical for every value.
+func NewCollectionSharded(cleanClean bool, maxBlockSize int, keyer Keyer, shards int) *Collection {
 	if keyer == nil {
 		keyer = func(p *profile.Profile) []string { return p.Tokens() }
 	}
-	return &Collection{
+	n := normalizeShards(shards)
+	c := &Collection{
 		cleanClean:   cleanClean,
 		maxBlockSize: maxBlockSize,
 		keyer:        keyer,
-		blocks:       make(map[string]*Block),
-		purged:       make(map[string]struct{}),
+		tab:          intern.New(1 << 10),
+		shards:       make([]shard, n),
+		mask:         intern.Sym(n - 1),
 		profiles:     make(map[int]*profile.Profile),
-		ofProf:       make(map[int][]string),
+		ofProf:       make(map[int][]intern.Sym),
 	}
+	for i := range c.shards {
+		c.shards[i].blocks = make(map[intern.Sym]*Block, 64)
+		c.shards[i].purged = make(map[intern.Sym]struct{})
+	}
+	return c
+}
+
+// normalizeShards applies the shard-count heuristic documented on
+// NewCollectionSharded.
+func normalizeShards(shards int) int {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+		if shards > 64 {
+			shards = 64
+		}
+	}
+	if shards > 256 {
+		shards = 256
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	return n
 }
 
 // CleanClean reports whether the collection runs a Clean-Clean ER task.
 func (c *Collection) CleanClean() bool { return c.cleanClean }
+
+// Interner returns the collection's symbol table. Symbols are append-only
+// and survive Save/Load, so callers may persist raw symbol values alongside
+// the collection.
+func (c *Collection) Interner() *intern.Table { return c.tab }
+
+// NumShards returns the number of index shards (a power of two).
+func (c *Collection) NumShards() int { return len(c.shards) }
+
+// shardOf returns the shard owning sym.
+func (c *Collection) shardOf(sym intern.Sym) *shard { return &c.shards[sym&c.mask] }
+
+// addSym applies the per-token ingest transition to sh (which must own sym):
+// skip if tombstoned, create-or-append the posting, purge on overflow. It
+// reports whether the symbol is a live block key for the added profile — the
+// kept condition of the profile→blocks index. Callers hold sh.mu when the
+// collection is ingesting concurrently.
+func (c *Collection) addSym(sh *shard, p *profile.Profile, sym intern.Sym) bool {
+	if _, dead := sh.purged[sym]; dead {
+		return false
+	}
+	b, ok := sh.blocks[sym]
+	if !ok {
+		b = &Block{Key: c.tab.StringOf(sym), Sym: sym}
+		sh.blocks[sym] = b
+	}
+	if p.Source == profile.SourceB {
+		b.B = append(b.B, p.ID)
+	} else {
+		b.A = append(b.A, p.ID)
+	}
+	if c.maxBlockSize > 0 && b.Size() > c.maxBlockSize {
+		delete(sh.blocks, sym)
+		sh.purged[sym] = struct{}{}
+		return false
+	}
+	return true
+}
 
 // Add integrates p into the collection: p is registered and appended to the
 // block of every one of its tokens, creating blocks as needed and purging any
@@ -104,30 +210,164 @@ func (c *Collection) Add(p *profile.Profile) int {
 	c.profiles[p.ID] = p
 	c.version++
 	toks := c.keyer(p)
-	keys := make([]string, 0, len(toks))
+	syms := make([]intern.Sym, 0, len(toks))
 	for _, tok := range toks {
-		if _, dead := c.purged[tok]; dead {
-			continue
+		sym := c.tab.Intern(tok)
+		sh := c.shardOf(sym)
+		sh.mu.Lock()
+		kept := c.addSym(sh, p, sym)
+		sh.mu.Unlock()
+		if kept {
+			syms = append(syms, sym)
 		}
-		b, ok := c.blocks[tok]
-		if !ok {
-			b = &Block{Key: tok}
-			c.blocks[tok] = b
-		}
-		if p.Source == profile.SourceB {
-			b.B = append(b.B, p.ID)
-		} else {
-			b.A = append(b.A, p.ID)
-		}
-		if c.maxBlockSize > 0 && b.Size() > c.maxBlockSize {
-			delete(c.blocks, tok)
-			c.purged[tok] = struct{}{}
-			continue
-		}
-		keys = append(keys, tok)
 	}
-	c.ofProf[p.ID] = keys
+	c.ofProf[p.ID] = syms
 	return len(toks)
+}
+
+// addPrepared is Add over symbols already interned by PrepareBatch: the same
+// registration, per-token transition, and token count, minus the tokenize+
+// intern step.
+func (c *Collection) addPrepared(p *profile.Profile, syms []intern.Sym) int {
+	if _, dup := c.profiles[p.ID]; dup {
+		panic(fmt.Sprintf("blocking: duplicate profile ID %d", p.ID))
+	}
+	c.profiles[p.ID] = p
+	c.version++
+	kept := make([]intern.Sym, 0, len(syms))
+	for _, sym := range syms {
+		sh := c.shardOf(sym)
+		sh.mu.Lock()
+		ok := c.addSym(sh, p, sym)
+		sh.mu.Unlock()
+		if ok {
+			kept = append(kept, sym)
+		}
+	}
+	c.ofProf[p.ID] = kept
+	return len(syms)
+}
+
+// addBatchParallelMin is the smallest increment worth the batch fan-out;
+// below it AddBatch degenerates to serial Add calls.
+const addBatchParallelMin = 4
+
+// PrepareBatch tokenizes the increment's profiles and interns their blocking
+// keys, returning one symbol slice per profile for AddBatchPrepared. It
+// touches only the symbol table — which is concurrency-safe and append-only —
+// never the shards or the registry, so a pipelined ingest stage may prepare
+// increment N+1 while the owner goroutine is still indexing and weighing
+// increment N. Results are freshly allocated (the caller hands them across a
+// goroutine boundary).
+func (c *Collection) PrepareBatch(delta []*profile.Profile) [][]intern.Sym {
+	symsOf := make([][]intern.Sym, len(delta))
+	for i, p := range delta {
+		toks := c.keyer(p)
+		symsOf[i] = c.tab.InternAll(toks, make([]intern.Sym, 0, len(toks)))
+	}
+	return symsOf
+}
+
+// AddBatch integrates a whole increment, fanning the work out over workers:
+// first tokenization and symbol interning per profile, then posting-list
+// appends with one worker per shard. Each shard worker walks the increment in
+// arrival order and applies the exact serial Add transition to the symbols it
+// owns, so the resulting collection — blocks, member order, purge tombstones,
+// profile→blocks index — is bit-for-bit identical to len(delta) serial Add
+// calls, for every worker and shard count. It returns the total number of
+// tokens indexed. A nil or serial pool, a single shard, or a tiny increment
+// all fall back to serial Add.
+func (c *Collection) AddBatch(delta []*profile.Profile, workers *pool.Pool) int {
+	return c.AddBatchPrepared(delta, nil, workers)
+}
+
+// AddBatchPrepared is AddBatch over symbols already interned by PrepareBatch
+// (symsOf[i] are delta[i]'s keys, in key order); a nil symsOf makes it intern
+// in place, which is exactly AddBatch. The resulting collection state is
+// identical either way — preparation only moves the tokenize+intern work onto
+// another goroutine's clock.
+func (c *Collection) AddBatchPrepared(delta []*profile.Profile, symsOf [][]intern.Sym, workers *pool.Pool) int {
+	if symsOf != nil && len(symsOf) != len(delta) {
+		panic(fmt.Sprintf("blocking: %d prepared symbol slices for %d profiles", len(symsOf), len(delta)))
+	}
+	if workers == nil || workers.Serial() || len(c.shards) == 1 || len(delta) < addBatchParallelMin {
+		total := 0
+		for i, p := range delta {
+			if symsOf != nil {
+				total += c.addPrepared(p, symsOf[i])
+			} else {
+				total += c.Add(p)
+			}
+		}
+		return total
+	}
+	var keptOf [][]bool
+	if symsOf == nil {
+		symsOf, keptOf = c.batchScratch(len(delta))
+		workers.ForEach(len(delta), func(i int) {
+			symsOf[i] = c.tab.InternAll(c.keyer(delta[i]), symsOf[i][:0])
+		})
+	} else {
+		_, keptOf = c.batchScratch(len(delta))
+	}
+	total := 0
+	for i, p := range delta {
+		if _, dup := c.profiles[p.ID]; dup {
+			panic(fmt.Sprintf("blocking: duplicate profile ID %d", p.ID))
+		}
+		c.profiles[p.ID] = p
+		total += len(symsOf[i])
+		if cap(keptOf[i]) < len(symsOf[i]) {
+			keptOf[i] = make([]bool, len(symsOf[i]))
+		}
+		keptOf[i] = keptOf[i][:len(symsOf[i])]
+	}
+	c.version += uint64(len(delta))
+	workers.ForEach(len(c.shards), func(si int) {
+		sh := &c.shards[si]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		owned := intern.Sym(si)
+		for i, p := range delta {
+			syms := symsOf[i]
+			kf := keptOf[i]
+			for j, sym := range syms {
+				if sym&c.mask != owned {
+					continue
+				}
+				// Every slot is owned by exactly one shard worker, which is
+				// its only writer; the symbol slices stay read-only here.
+				kf[j] = c.addSym(sh, p, sym)
+			}
+		}
+	})
+	for i, p := range delta {
+		syms := symsOf[i]
+		kept := make([]intern.Sym, 0, len(syms))
+		for j, sym := range syms {
+			if keptOf[i][j] {
+				kept = append(kept, sym)
+			}
+		}
+		c.ofProf[p.ID] = kept
+	}
+	return total
+}
+
+// batchScratch returns the reusable per-profile symbol and kept-flag buffers
+// for an increment of n profiles, growing the scratch as needed.
+func (c *Collection) batchScratch(n int) ([][]intern.Sym, [][]bool) {
+	if cap(c.batchSyms) < n {
+		grown := make([][]intern.Sym, n)
+		copy(grown, c.batchSyms)
+		c.batchSyms = grown
+		grownKept := make([][]bool, n)
+		copy(grownKept, c.batchKept)
+		c.batchKept = grownKept
+	}
+	c.batchSyms = c.batchSyms[:n]
+	c.batchKept = c.batchKept[:n]
+	return c.batchSyms, c.batchKept
 }
 
 // Remove evicts a profile from the collection: it is deleted from the
@@ -141,15 +381,16 @@ func (c *Collection) Remove(id int) {
 	if _, ok := c.profiles[id]; !ok {
 		return
 	}
-	for _, key := range c.ofProf[id] {
-		b, live := c.blocks[key]
+	for _, sym := range c.ofProf[id] {
+		sh := c.shardOf(sym)
+		b, live := sh.blocks[sym]
 		if !live {
 			continue
 		}
 		b.A = removeID(b.A, id)
 		b.B = removeID(b.B, id)
 		if b.Size() == 0 {
-			delete(c.blocks, key)
+			delete(sh.blocks, sym)
 		}
 	}
 	delete(c.ofProf, id)
@@ -169,29 +410,46 @@ func removeID(ids []int, id int) []int {
 
 // Block returns the live block for key, or nil if it does not exist or was
 // purged.
-func (c *Collection) Block(key string) *Block { return c.blocks[key] }
+func (c *Collection) Block(key string) *Block {
+	sym, ok := c.tab.Sym(key)
+	if !ok {
+		return nil
+	}
+	return c.shardOf(sym).blocks[sym]
+}
+
+// BlockBySym returns the live block for an interned symbol, or nil. It is the
+// hot-path variant of Block: no string hash, one shard-map lookup.
+func (c *Collection) BlockBySym(sym intern.Sym) *Block {
+	return c.shardOf(sym).blocks[sym]
+}
 
 // BlocksOf returns the live blocks containing profile id, in token order of
 // the profile. Blocks purged after the profile was added are skipped.
 func (c *Collection) BlocksOf(id int) []*Block {
-	keys := c.ofProf[id]
-	out := make([]*Block, 0, len(keys))
-	for _, k := range keys {
-		if b, ok := c.blocks[k]; ok {
-			out = append(out, b)
-		}
-	}
-	return out
+	return c.AppendBlocksOf(id, make([]*Block, 0, len(c.ofProf[id])))
 }
 
-// AppendLiveKeysOf appends the keys of the live blocks containing profile id
-// to buf and returns the extended slice. Reusing buf across calls makes the
-// enumeration allocation-free — the point of this method over BlocksOf for
-// per-pair weighing, which runs once per candidate comparison.
-func (c *Collection) AppendLiveKeysOf(id int, buf []string) []string {
-	for _, k := range c.ofProf[id] {
-		if _, ok := c.blocks[k]; ok {
-			buf = append(buf, k)
+// AppendBlocksOf appends the live blocks containing profile id to buf in
+// token order and returns the extended slice. Reusing buf across calls makes
+// the per-profile block enumeration of candidate generation allocation-free.
+func (c *Collection) AppendBlocksOf(id int, buf []*Block) []*Block {
+	for _, sym := range c.ofProf[id] {
+		if b, ok := c.shardOf(sym).blocks[sym]; ok {
+			buf = append(buf, b)
+		}
+	}
+	return buf
+}
+
+// AppendLiveSymsOf appends the symbols of the live blocks containing profile
+// id to buf and returns the extended slice. Reusing buf across calls makes
+// the enumeration allocation-free — the point of this method over BlocksOf
+// for per-pair weighing, which runs once per candidate comparison.
+func (c *Collection) AppendLiveSymsOf(id int, buf []intern.Sym) []intern.Sym {
+	for _, sym := range c.ofProf[id] {
+		if _, ok := c.shardOf(sym).blocks[sym]; ok {
+			buf = append(buf, sym)
 		}
 	}
 	return buf
@@ -201,8 +459,8 @@ func (c *Collection) AppendLiveKeysOf(id int, buf []string) []string {
 // the |B(p)| term of meta-blocking weighting schemes.
 func (c *Collection) NumBlocksOf(id int) int {
 	n := 0
-	for _, k := range c.ofProf[id] {
-		if _, ok := c.blocks[k]; ok {
+	for _, sym := range c.ofProf[id] {
+		if _, ok := c.shardOf(sym).blocks[sym]; ok {
 			n++
 		}
 	}
@@ -227,35 +485,72 @@ func (c *Collection) ProfileIDs() []int {
 }
 
 // NumBlocks returns the number of live blocks.
-func (c *Collection) NumBlocks() int { return len(c.blocks) }
+func (c *Collection) NumBlocks() int {
+	n := 0
+	for i := range c.shards {
+		n += len(c.shards[i].blocks)
+	}
+	return n
+}
 
 // Version returns a counter bumped on every mutation; callers use it to
 // invalidate caches derived from the collection (e.g. sorted block lists).
 func (c *Collection) Version() uint64 { return c.version }
 
-// SortedKeysBySize returns all live block keys sorted by ascending block
-// size, ties broken by key for determinism. The slice is freshly allocated.
-func (c *Collection) SortedKeysBySize() []string {
-	keys := make([]string, 0, len(c.blocks))
-	for k := range c.blocks {
-		keys = append(keys, k)
+// allBlocks appends every live block to buf and returns the extended slice.
+func (c *Collection) allBlocks(buf []*Block) []*Block {
+	for i := range c.shards {
+		for _, b := range c.shards[i].blocks {
+			buf = append(buf, b)
+		}
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		si, sj := c.blocks[keys[i]].Size(), c.blocks[keys[j]].Size()
+	return buf
+}
+
+// sortedBlocksBySize returns all live blocks sorted by ascending size, ties
+// broken by key *string* — never by raw symbol value, which depends on
+// arrival order — so scan order is stable across ingest permutations.
+func (c *Collection) sortedBlocksBySize() []*Block {
+	blocks := c.allBlocks(make([]*Block, 0, c.NumBlocks()))
+	sort.Slice(blocks, func(i, j int) bool {
+		si, sj := blocks[i].Size(), blocks[j].Size()
 		if si != sj {
 			return si < sj
 		}
-		return keys[i] < keys[j]
+		return blocks[i].Key < blocks[j].Key
 	})
+	return blocks
+}
+
+// SortedKeysBySize returns all live block keys sorted by ascending block
+// size, ties broken by key for determinism. The slice is freshly allocated.
+func (c *Collection) SortedKeysBySize() []string {
+	blocks := c.sortedBlocksBySize()
+	keys := make([]string, len(blocks))
+	for i, b := range blocks {
+		keys[i] = b.Key
+	}
 	return keys
+}
+
+// SortedSymsBySize is SortedKeysBySize resolved to symbols — the hot-path
+// form the strategies' fallback scans keep as their cursor.
+func (c *Collection) SortedSymsBySize() []intern.Sym {
+	blocks := c.sortedBlocksBySize()
+	syms := make([]intern.Sym, len(blocks))
+	for i, b := range blocks {
+		syms[i] = b.Sym
+	}
+	return syms
 }
 
 // SortedKeysByName returns all live block keys in lexicographic order — a
 // deterministic stand-in for the "arbitrary" block order of plain batch ER.
 func (c *Collection) SortedKeysByName() []string {
-	keys := make([]string, 0, len(c.blocks))
-	for k := range c.blocks {
-		keys = append(keys, k)
+	blocks := c.allBlocks(make([]*Block, 0, c.NumBlocks()))
+	keys := make([]string, len(blocks))
+	for i, b := range blocks {
+		keys[i] = b.Key
 	}
 	sort.Strings(keys)
 	return keys
@@ -265,8 +560,10 @@ func (c *Collection) SortedKeysByName() []string {
 // blocks (with cross-block redundancy, i.e. the BC measure of blocking).
 func (c *Collection) TotalComparisons() int {
 	total := 0
-	for _, b := range c.blocks {
-		total += b.Comparisons(c.cleanClean)
+	for i := range c.shards {
+		for _, b := range c.shards[i].blocks {
+			total += b.Comparisons(c.cleanClean)
+		}
 	}
 	return total
 }
@@ -277,14 +574,24 @@ func (c *Collection) TotalComparisons() int {
 // ones. Like Ghost it is applied per profile at candidate-generation time;
 // ratio >= 1 or <= 0 disables filtering. The input slice is not modified.
 func FilterTopR(blocks []*Block, ratio float64) []*Block {
+	return FilterTopRAppend(nil, blocks, ratio)
+}
+
+// FilterTopRAppend is FilterTopR building its result in buf (which may be
+// nil); when filtering is disabled it returns blocks unchanged without
+// touching buf. Reusing buf makes per-profile filtering allocation-free.
+func FilterTopRAppend(buf, blocks []*Block, ratio float64) []*Block {
 	if ratio <= 0 || ratio >= 1 || len(blocks) == 0 {
 		return blocks
 	}
 	keep := int(math.Ceil(ratio * float64(len(blocks))))
 	if keep >= len(blocks) {
-		return blocks
+		// Copy even when nothing is dropped: with filtering enabled the
+		// result is always buf-backed, so callers can retain it as scratch
+		// without aliasing the input's backing array.
+		return append(buf, blocks...)
 	}
-	sorted := append([]*Block(nil), blocks...)
+	sorted := append(buf, blocks...)
 	sort.Slice(sorted, func(i, j int) bool {
 		si, sj := sorted[i].Size(), sorted[j].Size()
 		if si != sj {
@@ -305,6 +612,16 @@ func Ghost(blocks []*Block, beta float64) []*Block {
 	if beta <= 0 || len(blocks) == 0 {
 		return blocks
 	}
+	return GhostAppend(make([]*Block, 0, len(blocks)), blocks, beta)
+}
+
+// GhostAppend is Ghost appending the kept blocks to buf (which may be nil);
+// when ghosting is disabled it returns blocks unchanged without touching buf.
+// Reusing buf makes per-profile ghosting allocation-free.
+func GhostAppend(buf, blocks []*Block, beta float64) []*Block {
+	if beta <= 0 || len(blocks) == 0 {
+		return blocks
+	}
 	min := blocks[0].Size()
 	for _, b := range blocks[1:] {
 		if s := b.Size(); s < min {
@@ -312,11 +629,10 @@ func Ghost(blocks []*Block, beta float64) []*Block {
 		}
 	}
 	limit := float64(min) / beta
-	out := make([]*Block, 0, len(blocks))
 	for _, b := range blocks {
 		if float64(b.Size()) <= limit {
-			out = append(out, b)
+			buf = append(buf, b)
 		}
 	}
-	return out
+	return buf
 }

@@ -3,57 +3,74 @@ package blocking
 import (
 	"fmt"
 
+	"pier/internal/intern"
 	"pier/internal/profile"
 )
 
 // Verify checks the collection's structural invariants and returns the first
-// violation, or nil. The invariants tie together the four indexes the
-// incremental blocking stage maintains:
+// violation, or nil. The invariants tie together the indexes the incremental
+// blocking stage maintains:
 //
+//   - every live block sits in the shard its symbol hashes to and carries the
+//     key string its symbol resolves to;
 //   - every live block is non-empty and, when purging is enabled, within the
 //     purge threshold (Add drops any block the moment it exceeds it);
-//   - no key is both live and tombstoned as purged;
+//   - no symbol is both live and tombstoned as purged;
 //   - every block member is a registered profile, stored on the side matching
 //     its Source, at most once per block;
 //   - the profile→blocks index and the blocks agree in both directions:
-//     each ofProf key is live-and-containing or dead, and each block member
-//     lists the block's key in its ofProf entry.
+//     each ofProf symbol is live-and-containing or dead, and each block
+//     member lists the block's symbol in its ofProf entry.
 //
 // Verify is O(total block memberships); the correctness harness calls it on
 // final states, and strategies call it per increment under
 // core.Config.CheckInvariants.
 func (c *Collection) Verify() error {
-	for key, b := range c.blocks {
-		if b.Key != key {
-			return fmt.Errorf("blocking: block stored under %q reports key %q", key, b.Key)
+	for si := range c.shards {
+		sh := &c.shards[si]
+		for sym, b := range sh.blocks {
+			if b.Sym != sym {
+				return fmt.Errorf("blocking: block stored under symbol %d reports symbol %d", sym, b.Sym)
+			}
+			if sym&c.mask != intern.Sym(si) {
+				return fmt.Errorf("blocking: block %q (symbol %d) stored in shard %d, belongs to %d", b.Key, sym, si, sym&c.mask)
+			}
+			if want := c.tab.StringOf(sym); b.Key != want {
+				return fmt.Errorf("blocking: block stored under %q reports key %q", want, b.Key)
+			}
+			if b.Size() == 0 {
+				return fmt.Errorf("blocking: empty block %q retained", b.Key)
+			}
+			if c.maxBlockSize > 0 && b.Size() > c.maxBlockSize {
+				return fmt.Errorf("blocking: block %q has %d profiles > purge threshold %d", b.Key, b.Size(), c.maxBlockSize)
+			}
+			if _, dead := sh.purged[sym]; dead {
+				return fmt.Errorf("blocking: block %q is both live and purged", b.Key)
+			}
+			if err := c.verifyMembers(b, profile.SourceA, b.A); err != nil {
+				return err
+			}
+			if err := c.verifyMembers(b, profile.SourceB, b.B); err != nil {
+				return err
+			}
 		}
-		if b.Size() == 0 {
-			return fmt.Errorf("blocking: empty block %q retained", key)
-		}
-		if c.maxBlockSize > 0 && b.Size() > c.maxBlockSize {
-			return fmt.Errorf("blocking: block %q has %d profiles > purge threshold %d", key, b.Size(), c.maxBlockSize)
-		}
-		if _, dead := c.purged[key]; dead {
-			return fmt.Errorf("blocking: block %q is both live and purged", key)
-		}
-		if err := c.verifyMembers(b, profile.SourceA, b.A); err != nil {
-			return err
-		}
-		if err := c.verifyMembers(b, profile.SourceB, b.B); err != nil {
-			return err
+		for sym := range sh.purged {
+			if sym&c.mask != intern.Sym(si) {
+				return fmt.Errorf("blocking: tombstone for symbol %d stored in shard %d, belongs to %d", sym, si, sym&c.mask)
+			}
 		}
 	}
-	for id, keys := range c.ofProf {
+	for id, syms := range c.ofProf {
 		if _, ok := c.profiles[id]; !ok {
 			return fmt.Errorf("blocking: ofProf entry for unregistered profile %d", id)
 		}
-		for _, key := range keys {
-			b, live := c.blocks[key]
+		for _, sym := range syms {
+			b, live := c.shardOf(sym).blocks[sym]
 			if !live {
 				continue // purged after the profile was added: allowed
 			}
 			if !containsID(b.A, id) && !containsID(b.B, id) {
-				return fmt.Errorf("blocking: profile %d indexes live block %q but is not a member", id, key)
+				return fmt.Errorf("blocking: profile %d indexes live block %q but is not a member", id, b.Key)
 			}
 		}
 	}
@@ -77,8 +94,8 @@ func (c *Collection) verifyMembers(b *Block, src profile.Source, ids []int) erro
 			return fmt.Errorf("blocking: profile %d (source %v) stored on the %v side of block %q", id, p.Source, src, b.Key)
 		}
 		back := false
-		for _, key := range c.ofProf[id] {
-			if key == b.Key {
+		for _, sym := range c.ofProf[id] {
+			if sym == b.Sym {
 				back = true
 				break
 			}

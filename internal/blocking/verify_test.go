@@ -29,30 +29,34 @@ func TestCollectionVerifyFiresOnCorruption(t *testing.T) {
 		want    string
 	}{
 		{"unregistered member", func(c *Collection) {
-			b := c.blocks["beta"]
+			b := c.Block("beta")
 			b.A = append(b.A, 99)
 		}, "unregistered profile"},
 		{"duplicate member", func(c *Collection) {
-			b := c.blocks["beta"]
+			b := c.Block("beta")
 			b.A = append(b.A, b.A[0])
 		}, "twice"},
 		{"missing back-link", func(c *Collection) {
-			b := c.blocks["beta"]
+			b := c.Block("beta")
 			b.A = append(b.A, 2) // profile 2 exists but does not index "beta"
 		}, "back-link"},
 		{"live and purged", func(c *Collection) {
-			c.purged["beta"] = struct{}{}
+			sym := c.Block("beta").Sym
+			c.shardOf(sym).purged[sym] = struct{}{}
 		}, "both live and purged"},
 		{"stale ofProf membership", func(c *Collection) {
-			b := c.blocks["beta"]
+			b := c.Block("beta")
 			b.A = b.A[:1] // drop a member while its ofProf entry stays
 		}, "not a member"},
 		{"oversized block", func(c *Collection) {
 			c.maxBlockSize = 1
 		}, "purge threshold"},
 		{"key mismatch", func(c *Collection) {
-			c.blocks["beta"].Key = "gamma"
+			c.Block("beta").Key = "gamma"
 		}, "reports key"},
+		{"symbol mismatch", func(c *Collection) {
+			c.Block("beta").Sym++
+		}, "reports symbol"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

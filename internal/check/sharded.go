@@ -1,0 +1,171 @@
+package check
+
+import (
+	"fmt"
+
+	"pier/internal/blocking"
+	"pier/internal/core"
+	"pier/internal/dataset"
+	"pier/internal/pool"
+	"pier/internal/profile"
+)
+
+// This file holds the sharded-ingest differential oracles: the sharded,
+// parallel batch-ingest path of the blocking index (NewCollectionSharded +
+// AddBatch) must be observationally identical to serial Add — same blocks,
+// same member order, same tombstones, same strategy drain sequences — for
+// every shard and worker count. Shard count is a concurrency knob, never a
+// semantic one; these oracles are what make that claim checkable rather than
+// aspirational.
+
+// ShardedFinalCollection blocks the whole stream into a sharded collection via
+// parallel batch ingest — the counterpart of FinalCollection for the sharded
+// path. Purging stays disabled for the same reason as there.
+func ShardedFinalCollection(cleanClean bool, incs [][]*profile.Profile, shards, workers int) *blocking.Collection {
+	col := blocking.NewCollectionSharded(cleanClean, 0, nil, shards)
+	w := pool.New(workers)
+	for _, inc := range incs {
+		col.AddBatch(inc, w)
+	}
+	return col
+}
+
+// ShardedIngestTrace is IngestTrace with the collection built through the
+// sharded parallel batch path instead of serial Add: UpdateIndex once per
+// increment over a sharded collection, then a full drain. If the sharded index
+// is truly equivalent, the emission sequence matches IngestTrace exactly.
+func ShardedIngestTrace(s core.Strategy, cleanClean bool, incs [][]*profile.Profile, shards, workers int) []Trace {
+	col := blocking.NewCollectionSharded(cleanClean, 0, nil, shards)
+	w := pool.New(workers)
+	for _, inc := range incs {
+		col.AddBatch(inc, w)
+		s.UpdateIndex(col, inc)
+	}
+	var out []Trace
+	for {
+		c, ok := s.Dequeue()
+		if !ok {
+			s.UpdateIndex(col, nil)
+			if s.Pending() == 0 {
+				return out
+			}
+			continue
+		}
+		out = append(out, Trace{X: c.X, Y: c.Y, Weight: c.Weight})
+	}
+}
+
+// diffCollections returns nil when two collections built from the same stream
+// are observationally identical — registry, version, blocks (keys and member
+// order), and the profile→blocks index resolved to key strings — or an error
+// locating the first divergence. Symbol numbering is deliberately not
+// compared: the serial and batch intern orders may differ, and nothing
+// observable is allowed to depend on it.
+func diffCollections(nameA string, a *blocking.Collection, nameB string, b *blocking.Collection) error {
+	if a.NumProfiles() != b.NumProfiles() {
+		return fmt.Errorf("check: %s has %d profiles, %s has %d", nameA, a.NumProfiles(), nameB, b.NumProfiles())
+	}
+	if a.NumBlocks() != b.NumBlocks() {
+		return fmt.Errorf("check: %s has %d blocks, %s has %d", nameA, a.NumBlocks(), nameB, b.NumBlocks())
+	}
+	if a.Version() != b.Version() {
+		return fmt.Errorf("check: %s at version %d, %s at %d", nameA, a.Version(), nameB, b.Version())
+	}
+	keysA, keysB := a.SortedKeysByName(), b.SortedKeysByName()
+	for i, k := range keysA {
+		if keysB[i] != k {
+			return fmt.Errorf("check: block key sets diverge at rank %d: %s has %q, %s has %q", i, nameA, k, nameB, keysB[i])
+		}
+		ba, bb := a.Block(k), b.Block(k)
+		if fmt.Sprint(ba.A) != fmt.Sprint(bb.A) || fmt.Sprint(ba.B) != fmt.Sprint(bb.B) {
+			return fmt.Errorf("check: block %q members diverge: %s has %v|%v, %s has %v|%v",
+				k, nameA, ba.A, ba.B, nameB, bb.A, bb.B)
+		}
+	}
+	for _, id := range a.ProfileIDs() {
+		ofA := blockKeys(a, id)
+		ofB := blockKeys(b, id)
+		if fmt.Sprint(ofA) != fmt.Sprint(ofB) {
+			return fmt.Errorf("check: BlocksOf(%d) diverges: %s has %v, %s has %v", id, nameA, ofA, nameB, ofB)
+		}
+	}
+	return nil
+}
+
+// blockKeys resolves a profile's block membership to key strings, the
+// numbering-independent view.
+func blockKeys(c *blocking.Collection, id int) []string {
+	blocks := c.BlocksOf(id)
+	out := make([]string, len(blocks))
+	for i, b := range blocks {
+		out[i] = b.Key
+	}
+	return out
+}
+
+// ShardedEquivalence asserts that sharded parallel batch ingest is
+// indistinguishable from serial Add at two levels: the final collection state
+// (blocks, member order, versions, profile→blocks index, all resolved to key
+// strings) and the exact strategy drain sequence ⟨X, Y, Weight⟩ over
+// collections built each way. mk constructs a fresh strategy per run.
+func ShardedEquivalence(mk func() core.Strategy, cleanClean bool, incs [][]*profile.Profile, shards, workers int) error {
+	serial := FinalCollection(cleanClean, incs)
+	sharded := ShardedFinalCollection(cleanClean, incs, shards, workers)
+	if err := diffCollections("serial Add", serial, fmt.Sprintf("sharded(%d) AddBatch(workers=%d)", shards, workers), sharded); err != nil {
+		return err
+	}
+	s := mk()
+	ref := IngestTrace(s, cleanClean, incs)
+	got := ShardedIngestTrace(mk(), cleanClean, incs, shards, workers)
+	n := len(ref)
+	if len(got) < n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		if ref[i] != got[i] {
+			return fmt.Errorf("check: %s drain sequences diverge at position %d: serial emitted %+v, sharded(%d, workers=%d) emitted %+v",
+				s.Name(), i, ref[i], shards, workers, got[i])
+		}
+	}
+	if len(ref) != len(got) {
+		return fmt.Errorf("check: %s drain sequences diverge in length: serial emitted %d comparisons, sharded(%d, workers=%d) emitted %d",
+			s.Name(), len(ref), shards, workers, len(got))
+	}
+	return nil
+}
+
+// ShardedBattery runs ShardedEquivalence for every PIER strategy across a
+// shard × worker matrix, at the middle split of the canonical matrix. Unlike
+// IngestInvariance this includes I-PBS: the increments are identical on both
+// sides, so even its boundary-sensitive UpdateIndex must trace identically —
+// only the index construction underneath differs.
+func ShardedBattery(ds *dataset.Dataset, splits, shardCounts, workerCounts []int) error {
+	if len(splits) == 0 {
+		splits = []int{1, 2, 5, 10}
+	}
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 4, 8}
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 4}
+	}
+	midK := splits[len(splits)/2]
+	incs := ds.Increments(midK)
+	cfg := CoreConfig()
+	factories := map[string]func() core.Strategy{
+		"I-PCS": func() core.Strategy { return core.NewIPCS(cfg) },
+		"I-PBS": func() core.Strategy { return core.NewIPBS(cfg) },
+		"I-PES": func() core.Strategy { return core.NewIPES(cfg) },
+	}
+	for _, shards := range shardCounts {
+		for _, workers := range workerCounts {
+			for name, mk := range factories {
+				if err := ShardedEquivalence(mk, ds.CleanClean, incs, shards, workers); err != nil {
+					return fmt.Errorf("%s/sharded-equivalence (shards=%d, workers=%d, dataset=%s): %w",
+						name, shards, workers, ds.Name, err)
+				}
+			}
+		}
+	}
+	return nil
+}

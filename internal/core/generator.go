@@ -5,6 +5,7 @@ import (
 
 	"pier/internal/blocking"
 	"pier/internal/bloom"
+	"pier/internal/intern"
 	"pier/internal/metablocking"
 	"pier/internal/obsv"
 	"pier/internal/pool"
@@ -15,6 +16,19 @@ import (
 // it, goroutine startup dominates the per-profile work. Well under any real
 // increment size, so the parallel path is exercised by normal workloads.
 const parallelThreshold = 4
+
+// genScratch is the reusable per-worker state of candidate generation: the
+// block enumeration and ghosting buffers, the partner accumulator, and the
+// worker's output run. Scratch never influences results — it only recycles
+// allocations — so any worker may process any profile.
+type genScratch struct {
+	acc      metablocking.Accumulator
+	blocks   []*blocking.Block
+	filtered []*blocking.Block
+	ghosted  []*blocking.Block
+	out      []metablocking.Comparison
+	cost     time.Duration
+}
 
 // generator implements the comparison-generation core shared by I-PCS and
 // I-PES: lines 1–11 of Algorithm 2. For each new profile of an increment it
@@ -27,10 +41,11 @@ const parallelThreshold = 4
 // Per-profile candidate generation is independent by construction — the
 // smaller-ID rule in metablocking.Candidates generates every unordered pair
 // exactly once, from the later profile, against collection state that already
-// contains the whole increment — so candidates fans the per-profile work out
-// over a worker pool and merges the results in original profile order. The
-// merged list is bit-for-bit identical to the serial one, keeping every
-// strategy's index state independent of Config.Parallelism.
+// contains the whole increment — so candidates splits the increment into one
+// contiguous chunk per worker (each with its own scratch) and concatenates
+// the chunk outputs in order. The merged list is bit-for-bit identical to the
+// serial one, keeping every strategy's index state independent of
+// Config.Parallelism.
 type generator struct {
 	cfg  Config
 	pool *pool.Pool
@@ -52,7 +67,14 @@ type generator struct {
 	// only the (serial) fallback scan touches it.
 	weigher metablocking.Weigher
 
-	scanKeys    []string
+	scratches []genScratch              // one per worker slot; [0] serves the serial path
+	merged    []metablocking.Comparison // reused fan-out merge buffer
+	fbBuf     []metablocking.Comparison // reused fallback-scan output buffer
+
+	// scanSyms is the fallback-scan cursor: the live blocks at scanVersion,
+	// smallest first (ties by key string, so the order is independent of
+	// symbol assignment), resolved to symbols for map-free lookups.
+	scanSyms    []intern.Sym
 	scanPos     int
 	scanVersion uint64
 	scanValid   bool
@@ -74,12 +96,46 @@ func newGenerator(cfg Config) *generator {
 	return g
 }
 
+// scratchFor returns the worker scratch slots for n workers, growing the pool
+// of slots on first use and resetting each slot's output run.
+func (g *generator) scratchFor(n int) []genScratch {
+	for len(g.scratches) < n {
+		g.scratches = append(g.scratches, genScratch{})
+	}
+	scs := g.scratches[:n]
+	for i := range scs {
+		scs[i].out = scs[i].out[:0]
+		scs[i].cost = 0
+	}
+	return scs
+}
+
+// perProfile runs lines 1–9 of Algorithm 2 for one profile — block filtering,
+// ghosting, candidate weighing, I-WNP — appending the pruned comparisons to
+// sc.out and the modeled cost to sc.cost.
+func (g *generator) perProfile(sc *genScratch, col *blocking.Collection, p *profile.Profile) {
+	sc.blocks = col.AppendBlocksOf(p.ID, sc.blocks[:0])
+	blocks := sc.blocks
+	if r := g.cfg.FilterRatio; r > 0 && r < 1 && len(blocks) > 0 {
+		sc.filtered = blocking.FilterTopRAppend(sc.filtered[:0], blocks, r)
+		blocks = sc.filtered
+	}
+	if g.cfg.Beta > 0 && len(blocks) > 0 {
+		sc.ghosted = blocking.GhostAppend(sc.ghosted[:0], blocks, g.cfg.Beta)
+		blocks = sc.ghosted
+	}
+	cands := sc.acc.Candidates(col, p, blocks, g.cfg.Scheme)
+	sc.cost += g.cfg.Costs.Generate(len(cands))
+	sc.out = append(sc.out, metablocking.IWNP(cands)...)
+}
+
 // candidates runs lines 1–9 of Algorithm 2 over the increment: block
 // ghosting with β, candidate generation against earlier profiles, and I-WNP
 // pruning. It returns the weighted comparison list and the modeled cost.
-// Large increments are fanned out over the worker pool; per-profile results
-// land in index-addressed slots and are concatenated in profile order, so the
-// output is identical for every Config.Parallelism setting.
+// Large increments are split into one contiguous chunk per pool worker;
+// chunk outputs are concatenated in chunk order, so the output is identical
+// for every Config.Parallelism setting. The returned slice is owned by the
+// generator and valid until its next call; strategies consume it immediately.
 func (g *generator) candidates(col *blocking.Collection, delta []*profile.Profile) ([]metablocking.Comparison, time.Duration) {
 	if len(delta) == 0 {
 		return nil, 0
@@ -88,40 +144,56 @@ func (g *generator) candidates(col *blocking.Collection, delta []*profile.Profil
 	if g.genSec != nil {
 		t0 = time.Now()
 	}
-	perProfile := func(p *profile.Profile) ([]metablocking.Comparison, time.Duration) {
-		blocks := blocking.FilterTopR(col.BlocksOf(p.ID), g.cfg.FilterRatio)
-		blocks = blocking.Ghost(blocks, g.cfg.Beta)
-		cands := metablocking.Candidates(col, p, blocks, g.cfg.Scheme)
-		return metablocking.IWNP(cands), g.cfg.Costs.Generate(len(cands))
+	workers := g.pool.Workers()
+	if g.pool.Serial() || len(delta) < parallelThreshold {
+		workers = 1
 	}
-
+	if workers > len(delta) {
+		workers = len(delta)
+	}
+	scs := g.scratchFor(workers)
 	var out []metablocking.Comparison
 	var cost time.Duration
-	if g.pool.Serial() || len(delta) < parallelThreshold {
+	if workers == 1 {
+		sc := &scs[0]
 		for _, p := range delta {
-			cs, c := perProfile(p)
-			out = append(out, cs...)
-			cost += c
+			g.perProfile(sc, col, p)
 		}
+		out, cost = sc.out, sc.cost
 	} else {
 		// Fan out: the per-profile work only reads the collection (the
 		// whole increment is already blocked before UpdateIndex runs), so
-		// concurrent tasks never race; the single-writer merge below is
-		// the only mutation.
-		results := make([][]metablocking.Comparison, len(delta))
-		costs := make([]time.Duration, len(delta))
-		g.pool.ForEach(len(delta), func(i int) {
-			results[i], costs[i] = perProfile(delta[i])
+		// concurrent chunks never race; each chunk writes only its own
+		// scratch and the single-writer merge below is the only mutation.
+		chunk := (len(delta) + workers - 1) / workers
+		g.pool.ForEach(workers, func(w int) {
+			sc := &scs[w]
+			lo := w * chunk
+			if lo > len(delta) {
+				lo = len(delta)
+			}
+			hi := lo + chunk
+			if hi > len(delta) {
+				hi = len(delta)
+			}
+			for _, p := range delta[lo:hi] {
+				g.perProfile(sc, col, p)
+			}
 		})
 		total := 0
-		for _, r := range results {
-			total += len(r)
+		for i := range scs {
+			total += len(scs[i].out)
 		}
-		out = make([]metablocking.Comparison, 0, total)
-		for i := range results {
-			out = append(out, results[i]...)
-			cost += costs[i]
+		merged := g.merged[:0]
+		if cap(merged) < total {
+			merged = make([]metablocking.Comparison, 0, total)
 		}
+		for i := range scs {
+			merged = append(merged, scs[i].out...)
+			cost += scs[i].cost
+		}
+		g.merged = merged
+		out = merged
 	}
 	if g.genSec != nil {
 		g.genSec.Observe(time.Since(t0).Seconds())
@@ -147,17 +219,18 @@ func (g *generator) markExecuted(key uint64) { g.executed.Add(key) }
 // yields at least one unexecuted pair, weighted with the configured scheme.
 // It returns nil when every block has been visited. New data invalidates the
 // sorted order and restarts the scan; the executed filter keeps restarts from
-// redoing finished work.
+// redoing finished work. The returned slice is owned by the generator and
+// valid until its next call.
 func (g *generator) fallbackScan(col *blocking.Collection) ([]metablocking.Comparison, time.Duration) {
 	if !g.scanValid || g.scanVersion != col.Version() {
-		g.scanKeys = col.SortedKeysBySize()
+		g.scanSyms = col.SortedSymsBySize()
 		g.scanPos = 0
 		g.scanVersion = col.Version()
 		g.scanValid = true
 	}
 	var cost time.Duration
-	for g.scanPos < len(g.scanKeys) {
-		b := col.Block(g.scanKeys[g.scanPos])
+	for g.scanPos < len(g.scanSyms) {
+		b := col.BlockBySym(g.scanSyms[g.scanPos])
 		g.scanPos++
 		if b == nil {
 			continue
@@ -172,9 +245,10 @@ func (g *generator) fallbackScan(col *blocking.Collection) ([]metablocking.Compa
 }
 
 // blockComparisons generates the unexecuted comparisons of one block, each
-// weighted by the CBS-style shared-block count of its pair.
+// weighted by the CBS-style shared-block count of its pair, into the reused
+// fallback buffer.
 func (g *generator) blockComparisons(col *blocking.Collection, b *blocking.Block) []metablocking.Comparison {
-	var out []metablocking.Comparison
+	out := g.fbBuf[:0]
 	emit := func(x, y int) {
 		key := profile.PairKey(x, y)
 		if g.executed.Contains(key) {
@@ -200,5 +274,6 @@ func (g *generator) blockComparisons(col *blocking.Collection, b *blocking.Block
 			}
 		}
 	}
+	g.fbBuf = out
 	return out
 }

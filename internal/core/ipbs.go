@@ -5,6 +5,7 @@ import (
 
 	"pier/internal/blocking"
 	"pier/internal/bloom"
+	"pier/internal/intern"
 	"pier/internal/metablocking"
 	"pier/internal/profile"
 	"pier/internal/queue"
@@ -39,11 +40,24 @@ type IPBS struct {
 	// behavior.
 	InvertRefill bool
 
-	ci map[string]int   // active block -> pending comparison count
-	pi map[string][]int // active block -> unexecuted profile IDs
-	// minHeap orders active blocks by CI count (ties by key) with lazy
-	// invalidation: stale entries are skipped when popped.
+	ci map[intern.Sym]int   // active block symbol -> pending comparison count
+	pi map[intern.Sym][]int // active block symbol -> unexecuted profile IDs
+	// piFree recycles the backing arrays of deactivated PI entries: blocks
+	// churn through activate/emit cycles constantly, so reusing the ID slices
+	// keeps steady-state registration allocation-free. Contents are scratch
+	// only — reuse never changes what a PI entry holds, just its capacity.
+	piFree [][]int
+	// piSlab carves the initial arrays of freshly activated PI entries out of
+	// one shared allocation (capacity-limited sub-slices, so growth beyond the
+	// carve reallocates individually and never stomps a neighbor).
+	piSlab []int
+	// minHeap orders active blocks by CI count (ties by key string, so the
+	// order is independent of symbol assignment) with lazy invalidation:
+	// stale entries are skipped when popped.
 	minHeap *queue.Heap[ciEntry]
+
+	// blocksBuf is reusable per-profile block-enumeration scratch.
+	blocksBuf []*blocking.Block
 
 	// cf suppresses redundant pair generation; an exact set under
 	// Config.ExactFilters, since a Bloom false positive here permanently
@@ -57,7 +71,8 @@ type IPBS struct {
 
 type ciEntry struct {
 	count int
-	key   string
+	sym   intern.Sym
+	key   string // resolved once at push; ties order by string, not symbol
 }
 
 func ciLess(a, b ciEntry) bool {
@@ -72,8 +87,8 @@ func NewIPBS(cfg Config) *IPBS {
 	return &IPBS{
 		cfg:     cfg,
 		index:   queue.NewBounded(cfg.IndexCapacity, metablocking.LessBlockCentric),
-		ci:      make(map[string]int),
-		pi:      make(map[string][]int),
+		ci:      make(map[intern.Sym]int, 256),
+		pi:      make(map[intern.Sym][]int, 256),
 		minHeap: queue.NewHeap(ciLess),
 		cf:      newPairFilter(cfg),
 	}
@@ -94,12 +109,29 @@ func (s *IPBS) UpdateIndex(col *blocking.Collection, delta []*profile.Profile) t
 	}
 	var cost time.Duration
 	for _, p := range delta {
-		for _, b := range col.BlocksOf(p.ID) {
-			s.ci[b.Key] += b.Size() - 1
-			s.pi[b.Key] = append(s.pi[b.Key], p.ID)
-			s.minHeap.Push(ciEntry{count: s.ci[b.Key], key: b.Key})
+		s.blocksBuf = col.AppendBlocksOf(p.ID, s.blocksBuf[:0])
+		for _, b := range s.blocksBuf {
+			n := s.ci[b.Sym] + b.Size() - 1
+			s.ci[b.Sym] = n
+			lst, active := s.pi[b.Sym]
+			if !active {
+				if f := len(s.piFree) - 1; f >= 0 {
+					lst = s.piFree[f]
+					s.piFree = s.piFree[:f]
+				} else {
+					const carve = 8
+					if cap(s.piSlab)-len(s.piSlab) < carve {
+						s.piSlab = make([]int, 0, 4096)
+					}
+					n := len(s.piSlab)
+					lst = s.piSlab[n : n : n+carve]
+					s.piSlab = s.piSlab[:n+carve]
+				}
+			}
+			s.pi[b.Sym] = append(lst, p.ID)
+			s.minHeap.Push(ciEntry{count: n, sym: b.Sym, key: b.Key})
 		}
-		cost += s.cfg.Costs.Generate(len(col.BlocksOf(p.ID)))
+		cost += s.cfg.Costs.Generate(len(s.blocksBuf))
 	}
 
 	// With an exhausted index, keep emitting b_min blocks until one yields
@@ -125,7 +157,7 @@ func (s *IPBS) UpdateIndex(col *blocking.Collection, delta []*profile.Profile) t
 		}
 		if skip {
 			// Re-activate b_min untouched for a later call.
-			s.minHeap.Push(ciEntry{count: s.ci[bmin.Key], key: bmin.Key})
+			s.minHeap.Push(ciEntry{count: s.ci[bmin.Sym], sym: bmin.Sym, key: bmin.Key})
 			return cost
 		}
 		cost += s.emitBlock(col, bmin)
@@ -141,15 +173,14 @@ func (s *IPBS) popMinBlock(col *blocking.Collection) (*blocking.Block, bool) {
 		if !ok {
 			return nil, false
 		}
-		cur, active := s.ci[e.key]
+		cur, active := s.ci[e.sym]
 		if !active || cur != e.count {
 			continue // stale heap entry
 		}
-		b := col.Block(e.key)
+		b := col.BlockBySym(e.sym)
 		if b == nil {
 			// Block was purged after profiles registered; drop it.
-			delete(s.ci, e.key)
-			delete(s.pi, e.key)
+			s.deactivate(e.sym)
 			continue
 		}
 		return b, true
@@ -177,7 +208,7 @@ func (s *IPBS) emitBlock(col *blocking.Collection, b *blocking.Block) time.Durat
 			BSize:  bsize,
 		})
 	}
-	for _, x := range s.pi[b.Key] {
+	for _, x := range s.pi[b.Sym] {
 		px := col.Profile(x)
 		if px == nil {
 			continue
@@ -199,9 +230,18 @@ func (s *IPBS) emitBlock(col *blocking.Collection, b *blocking.Block) time.Durat
 			}
 		}
 	}
-	delete(s.ci, b.Key)
-	delete(s.pi, b.Key)
+	s.deactivate(b.Sym)
 	return s.cfg.Costs.Generate(generated)
+}
+
+// deactivate removes the block from CI and PI, returning the PI entry's
+// backing array to the free list for reuse by a later activation.
+func (s *IPBS) deactivate(sym intern.Sym) {
+	delete(s.ci, sym)
+	if lst, ok := s.pi[sym]; ok && cap(lst) > 0 {
+		s.piFree = append(s.piFree, lst[:0])
+	}
+	delete(s.pi, sym)
 }
 
 // Dequeue implements Strategy.

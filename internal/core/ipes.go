@@ -57,7 +57,7 @@ func entityLess(a, b entityEntry) bool {
 // entityState is one E_PQ entry: the entity's pending comparisons plus the
 // statistics backing the insert() average-weight pruning.
 type entityState struct {
-	q        *queue.Bounded[metablocking.Comparison]
+	q        queue.Bounded[metablocking.Comparison] // by value: one alloc per entity
 	insSum   float64
 	insCount int
 }
@@ -165,7 +165,8 @@ func (s *IPES) queueLen(id int) int {
 func (s *IPES) epqPush(id int, c metablocking.Comparison) {
 	st, ok := s.epq[id]
 	if !ok {
-		st = &entityState{q: queue.NewBounded(s.cfg.PerEntityCapacity, metablocking.Less)}
+		st = &entityState{}
+		st.q.Init(s.cfg.PerEntityCapacity, metablocking.Less)
 		s.epq[id] = st
 	}
 	st.insSum += c.Weight

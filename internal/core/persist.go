@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"pier/internal/bloom"
+	"pier/internal/intern"
 	"pier/internal/metablocking"
 	"pier/internal/profile"
 	"pier/internal/queue"
@@ -40,12 +41,17 @@ var (
 )
 
 // generatorImage is the persisted state of the shared candidate-generation
-// core: the executed-pair filter and the fallback-scan cursor. The weigher is
-// a cache keyed on the collection's identity and version; it rebuilds itself
-// on first use after a restore.
+// core: the executed-pair filter and the fallback-scan cursor. The scan
+// cursor is persisted as raw symbol values: symbol numbering is append-only
+// and saved verbatim with the block collection, and a strategy image is only
+// ever restored alongside the collection it was checkpointed with (the
+// snapshot container orders the sections that way), so the symbols resolve
+// identically after the restore. The weigher is a cache keyed on the
+// collection's identity and version; it rebuilds itself on first use after a
+// restore.
 type generatorImage struct {
 	Executed    bloom.State
-	ScanKeys    []string
+	ScanSyms    []uint32
 	ScanPos     int
 	ScanVersion uint64
 	ScanValid   bool
@@ -56,18 +62,25 @@ func (g *generator) image() (generatorImage, error) {
 	if err != nil {
 		return generatorImage{}, err
 	}
-	return generatorImage{
+	img := generatorImage{
 		Executed:    ex,
-		ScanKeys:    append([]string(nil), g.scanKeys...),
+		ScanSyms:    make([]uint32, len(g.scanSyms)),
 		ScanPos:     g.scanPos,
 		ScanVersion: g.scanVersion,
 		ScanValid:   g.scanValid,
-	}, nil
+	}
+	for i, sym := range g.scanSyms {
+		img.ScanSyms[i] = uint32(sym)
+	}
+	return img, nil
 }
 
 func (g *generator) restore(img generatorImage) {
 	g.executed = bloom.RestoreMembership(img.Executed)
-	g.scanKeys = append([]string(nil), img.ScanKeys...)
+	g.scanSyms = make([]intern.Sym, len(img.ScanSyms))
+	for i, s := range img.ScanSyms {
+		g.scanSyms[i] = intern.Sym(s)
+	}
 	g.scanPos = img.ScanPos
 	g.scanVersion = img.ScanVersion
 	g.scanValid = img.ScanValid
@@ -104,17 +117,22 @@ func (s *IPCS) LoadState(r io.Reader) error {
 	return nil
 }
 
-// ciEntryImage mirrors the unexported ciEntry for encoding.
+// ciEntryImage mirrors the unexported ciEntry for encoding. The key string
+// rides along so the restored heap keeps its exact tie-break order without a
+// symbol-table lookup at load time.
 type ciEntryImage struct {
 	Count int
+	Sym   uint32
 	Key   string
 }
 
-// ipbsImage is the persisted state of I-PBS.
+// ipbsImage is the persisted state of I-PBS. CI and PI are keyed by raw
+// symbol values, valid against the collection checkpointed alongside (see
+// generatorImage on why that is sound).
 type ipbsImage struct {
 	Index        []metablocking.Comparison
-	CI           map[string]int
-	PI           map[string][]int
+	CI           map[uint32]int
+	PI           map[uint32][]int
 	Heap         []ciEntryImage
 	CF           bloom.State
 	InvertRefill bool
@@ -128,13 +146,19 @@ func (s *IPBS) SaveState(w io.Writer) error {
 	}
 	img := ipbsImage{
 		Index:        s.index.Snapshot(),
-		CI:           s.ci,
-		PI:           s.pi,
+		CI:           make(map[uint32]int, len(s.ci)),
+		PI:           make(map[uint32][]int, len(s.pi)),
 		CF:           cf,
 		InvertRefill: s.InvertRefill,
 	}
+	for sym, n := range s.ci {
+		img.CI[uint32(sym)] = n
+	}
+	for sym, ids := range s.pi {
+		img.PI[uint32(sym)] = ids
+	}
 	for _, e := range s.minHeap.Snapshot() {
-		img.Heap = append(img.Heap, ciEntryImage{Count: e.count, Key: e.key})
+		img.Heap = append(img.Heap, ciEntryImage{Count: e.count, Sym: uint32(e.sym), Key: e.key})
 	}
 	if err := gob.NewEncoder(w).Encode(&img); err != nil {
 		return fmt.Errorf("core: save I-PBS: %w", err)
@@ -149,17 +173,18 @@ func (s *IPBS) LoadState(r io.Reader) error {
 		return fmt.Errorf("core: load I-PBS: %w", err)
 	}
 	s.index.Restore(img.Index)
-	s.ci = img.CI
-	if s.ci == nil {
-		s.ci = make(map[string]int)
+	s.ci = make(map[intern.Sym]int, len(img.CI))
+	for sym, n := range img.CI {
+		s.ci[intern.Sym(sym)] = n
 	}
-	s.pi = img.PI
-	if s.pi == nil {
-		s.pi = make(map[string][]int)
+	s.pi = make(map[intern.Sym][]int, len(img.PI))
+	for sym, ids := range img.PI {
+		s.pi[intern.Sym(sym)] = ids
 	}
+	s.piFree = nil // recycled scratch from the pre-restore life is stale
 	heap := make([]ciEntry, len(img.Heap))
 	for i, e := range img.Heap {
-		heap[i] = ciEntry{count: e.Count, key: e.Key}
+		heap[i] = ciEntry{count: e.Count, sym: intern.Sym(e.Sym), key: e.Key}
 	}
 	s.minHeap.Restore(heap)
 	s.cf = bloom.RestoreMembership(img.CF)
@@ -236,11 +261,9 @@ func (s *IPES) LoadState(r io.Reader) error {
 	s.entityQueue.Restore(eq)
 	s.epq = make(map[int]*entityState, len(img.EPQ))
 	for id, sti := range img.EPQ {
-		st := &entityState{
-			q:        queueOf(s.cfg.PerEntityCapacity, sti.Items),
-			insSum:   sti.InsSum,
-			insCount: sti.InsCount,
-		}
+		st := &entityState{insSum: sti.InsSum, insCount: sti.InsCount}
+		st.q.Init(s.cfg.PerEntityCapacity, metablocking.Less)
+		st.q.Restore(sti.Items)
 		s.epq[id] = st
 	}
 	s.pq.Restore(img.PQ)

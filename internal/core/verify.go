@@ -24,12 +24,12 @@ func (s *IPBS) verify() {
 	if len(s.ci) != len(s.pi) {
 		panic(fmt.Sprintf("core: I-PBS CI tracks %d blocks but PI %d", len(s.ci), len(s.pi)))
 	}
-	for key, count := range s.ci {
+	for sym, count := range s.ci {
 		if count < 0 {
-			panic(fmt.Sprintf("core: I-PBS CI count for block %q is negative: %d", key, count))
+			panic(fmt.Sprintf("core: I-PBS CI count for block symbol %d is negative: %d", sym, count))
 		}
-		if len(s.pi[key]) == 0 {
-			panic(fmt.Sprintf("core: I-PBS block %q active in CI but has no PI profiles", key))
+		if len(s.pi[sym]) == 0 {
+			panic(fmt.Sprintf("core: I-PBS block symbol %d active in CI but has no PI profiles", sym))
 		}
 	}
 	if err := s.index.Verify(); err != nil {

@@ -1,0 +1,152 @@
+// Package intern provides the append-only symbol table behind the blocking
+// index: every blocking key (token, q-gram, suffix, …) is mapped once to a
+// dense uint32 symbol, and all hot-path structures — posting lists, the
+// profile→blocks index, weigher scratch sets, strategy block indexes — operate
+// on symbols instead of strings. Symbol comparison is a single integer
+// compare, symbol sets are sorted []Sym slices with cache-friendly set ops,
+// and a symbol costs 4 bytes where a string header costs 16 plus its bytes.
+//
+// The table is concurrency-safe and append-only: symbols are never removed or
+// renumbered, so a Sym handed out once stays valid for the lifetime of the
+// table — and, via gob persistence, across checkpoint/restore. Numbering is
+// assignment order: the first distinct string interned gets Sym 0. Components
+// that need deterministic behavior independent of arrival order (block scans,
+// tie-breaks) must therefore order by the resolved string, not by the raw
+// symbol value; see DESIGN.md §10.
+package intern
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Sym is a dense handle for an interned string. Symbols are only meaningful
+// relative to the Table that issued them.
+type Sym uint32
+
+// None is a "no symbol" sentinel that no table ever issues (tables are capped
+// below 2^32-1 symbols).
+const None Sym = ^Sym(0)
+
+// Table is an append-only, concurrency-safe string↔Sym map. The zero value is
+// not usable; construct with New. Lookups of existing symbols take a shared
+// lock only, so concurrent interning of a mostly-seen token stream (the steady
+// state of the ingest pipeline) scales across tokenizer goroutines.
+type Table struct {
+	mu   sync.RWMutex
+	syms map[string]Sym
+	strs []string
+}
+
+// New returns an empty table. sizeHint pre-sizes the underlying structures
+// for the expected number of distinct symbols; 0 means a small default.
+func New(sizeHint int) *Table {
+	if sizeHint <= 0 {
+		sizeHint = 64
+	}
+	return &Table{
+		syms: make(map[string]Sym, sizeHint),
+		strs: make([]string, 0, sizeHint),
+	}
+}
+
+// Intern returns the symbol for s, assigning the next free symbol on first
+// sight. It is safe for concurrent use.
+func (t *Table) Intern(s string) Sym {
+	t.mu.RLock()
+	sym, ok := t.syms[s]
+	t.mu.RUnlock()
+	if ok {
+		return sym
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if sym, ok = t.syms[s]; ok { // lost the race to another goroutine
+		return sym
+	}
+	if len(t.strs) >= int(None) {
+		panic("intern: symbol space exhausted")
+	}
+	sym = Sym(len(t.strs))
+	t.strs = append(t.strs, s)
+	t.syms[s] = sym
+	return sym
+}
+
+// InternAll interns every string of toks, appending the symbols to buf (which
+// may be nil) and returning the extended slice.
+func (t *Table) InternAll(toks []string, buf []Sym) []Sym {
+	for _, s := range toks {
+		buf = append(buf, t.Intern(s))
+	}
+	return buf
+}
+
+// Sym returns the symbol for s without assigning one, and whether it exists.
+func (t *Table) Sym(s string) (Sym, bool) {
+	t.mu.RLock()
+	sym, ok := t.syms[s]
+	t.mu.RUnlock()
+	return sym, ok
+}
+
+// StringOf resolves a symbol back to its string. Resolving a symbol the table
+// never issued is a programming error and panics.
+func (t *Table) StringOf(sym Sym) string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if int(sym) >= len(t.strs) {
+		panic(fmt.Sprintf("intern: unknown symbol %d (table has %d)", sym, len(t.strs)))
+	}
+	return t.strs[sym]
+}
+
+// Len returns the number of symbols issued so far.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.strs)
+}
+
+// tableImage is the gob image of a table: the dense string slice alone fully
+// determines the mapping (Symbols[i] ↔ Sym(i)).
+type tableImage struct {
+	Symbols []string
+}
+
+// Save writes a gob checkpoint of the table to w. Symbols keep their numbering
+// across Save/Load, which is what lets checkpointed structures persist raw
+// symbol values.
+func (t *Table) Save(w io.Writer) error {
+	t.mu.RLock()
+	img := tableImage{Symbols: t.strs[:len(t.strs):len(t.strs)]}
+	t.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(&img); err != nil {
+		return fmt.Errorf("intern: save table: %w", err)
+	}
+	return nil
+}
+
+// Load reconstructs a table from a checkpoint written by Save.
+func Load(r io.Reader) (*Table, error) {
+	var img tableImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("intern: load table: %w", err)
+	}
+	return FromSymbols(img.Symbols), nil
+}
+
+// FromSymbols builds a table whose symbol i resolves to symbols[i]. Duplicate
+// strings are a programming error and panic (the mapping would be ambiguous).
+func FromSymbols(symbols []string) *Table {
+	t := New(len(symbols))
+	for _, s := range symbols {
+		before := len(t.strs)
+		if t.Intern(s) != Sym(before) {
+			panic(fmt.Sprintf("intern: duplicate symbol %q in restored table", s))
+		}
+	}
+	return t
+}

@@ -15,12 +15,15 @@ import (
 // weight, ties by pair key).
 func Edges(col *blocking.Collection, ids []int, scheme Scheme) []Comparison {
 	var out []Comparison
+	var g Accumulator
+	var blocksBuf []*blocking.Block
 	for _, id := range ids {
 		p := col.Profile(id)
 		if p == nil {
 			continue
 		}
-		out = append(out, Candidates(col, p, col.BlocksOf(id), scheme)...)
+		blocksBuf = col.AppendBlocksOf(id, blocksBuf[:0])
+		out = append(out, g.Candidates(col, p, blocksBuf, scheme)...)
 	}
 	sort.Slice(out, func(i, j int) bool { return Less(out[j], out[i]) })
 	return out

@@ -15,9 +15,10 @@ package metablocking
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"pier/internal/blocking"
+	"pier/internal/intern"
 	"pier/internal/profile"
 )
 
@@ -133,19 +134,46 @@ func (s Scheme) weigh(col *blocking.Collection, x, y, common int, arcsSum float6
 // Restricting partners to smaller IDs makes incremental generation naturally
 // non-redundant: every unordered pair is generated exactly once, when its
 // later profile arrives.
+//
+// Candidates is the one-shot convenience over a throwaway Accumulator; the
+// per-increment hot paths hold an Accumulator per worker and reuse its
+// scratch across profiles.
 func Candidates(col *blocking.Collection, p *profile.Profile, blocks []*blocking.Block, scheme Scheme) []Comparison {
-	type acc struct {
-		common int
-		arcs   float64
-		bsize  int
+	var a Accumulator
+	return a.Candidates(col, p, blocks, scheme)
+}
+
+// acc aggregates the per-shared-block statistics of one candidate partner.
+type acc struct {
+	common int
+	arcs   float64
+	bsize  int
+}
+
+// Accumulator is reusable candidate-generation scratch: the partner
+// accumulator map and the output comparison buffer survive across calls, so
+// steady-state generation allocates only when a profile's partner count
+// outgrows every previous one. An Accumulator is single-goroutine state; the
+// parallel candidate-generation path keeps one per worker slot.
+type Accumulator struct {
+	// partners is a value map, not map[int]*acc: accumulator updates are
+	// read-modify-write on the map slot, trading one map store per block
+	// membership for one heap object per partner. Candidates runs once per
+	// profile of every increment, so per-call allocation volume matters more
+	// than the extra store.
+	partners map[int]acc
+	out      []Comparison
+}
+
+// Candidates is the package-level Candidates against the reusable scratch.
+// The returned slice is owned by the Accumulator and valid until its next
+// call; callers consume or copy it before generating the next profile.
+func (g *Accumulator) Candidates(col *blocking.Collection, p *profile.Profile, blocks []*blocking.Block, scheme Scheme) []Comparison {
+	if g.partners == nil {
+		g.partners = make(map[int]acc)
+	} else {
+		clear(g.partners)
 	}
-	// A value map, not map[int]*acc: accumulator updates are read-modify-
-	// write on the map slot, trading one map store per block membership for
-	// one heap object per partner. Candidates is called once per profile of
-	// every increment — and concurrently across profiles under Config
-	// .Parallelism — so per-call allocation volume matters more than the
-	// extra store.
-	partners := make(map[int]acc)
 	consider := func(ids []int, b *blocking.Block) {
 		inv := 1.0 / float64(maxInt(1, b.Comparisons(col.CleanClean())))
 		size := b.Size()
@@ -153,7 +181,7 @@ func Candidates(col *blocking.Collection, p *profile.Profile, blocks []*blocking
 			if id >= p.ID {
 				continue
 			}
-			a, ok := partners[id]
+			a, ok := g.partners[id]
 			if !ok {
 				a.bsize = size
 			}
@@ -162,7 +190,7 @@ func Candidates(col *blocking.Collection, p *profile.Profile, blocks []*blocking
 			if size < a.bsize {
 				a.bsize = size
 			}
-			partners[id] = a
+			g.partners[id] = a
 		}
 	}
 	for _, b := range blocks {
@@ -177,8 +205,8 @@ func Candidates(col *blocking.Collection, p *profile.Profile, blocks []*blocking
 			consider(b.B, b)
 		}
 	}
-	out := make([]Comparison, 0, len(partners))
-	for id, a := range partners {
+	out := g.out[:0]
+	for id, a := range g.partners {
 		out = append(out, Comparison{
 			X:      p.ID,
 			Y:      id,
@@ -189,8 +217,23 @@ func Candidates(col *blocking.Collection, p *profile.Profile, blocks []*blocking
 	// Deterministic output order (descending weight, ties by pair key):
 	// strategies process candidate lists sequentially and their internal
 	// state depends on insertion order.
-	sort.Slice(out, func(i, j int) bool { return Less(out[j], out[i]) })
+	slices.SortFunc(out, cmpByWeightDesc)
+	g.out = out
 	return out
+}
+
+// cmpByWeightDesc is the descending-Less order as a slices.SortFunc
+// comparator (best comparison first). Less is a total order — ties resolve by
+// pair key and a pair appears at most once per list — so stability is moot.
+func cmpByWeightDesc(a, b Comparison) int {
+	switch {
+	case Less(b, a):
+		return -1
+	case Less(a, b):
+		return 1
+	default:
+		return 0
+	}
 }
 
 // IWNP is the incremental Weighted Node Pruning of [17]: given the candidate
@@ -223,21 +266,22 @@ func maxInt(a, b int) int {
 }
 
 // SharedBlocks counts the live blocks shared by profiles x and y — the exact
-// CBS weight of the pair, computed by sorted block-key intersection (no
-// per-pair map allocation). It is the one-shot convenience; the block-scan
-// hot paths (I-PBS, PBS, fallback scans) use a Weigher, which additionally
-// amortizes the anchor profile's key set across the pairs of one block.
+// CBS weight of the pair, computed by sorted symbol intersection (two integer
+// slices, no per-pair map allocation). It is the one-shot convenience; the
+// block-scan hot paths (I-PBS, PBS, fallback scans) use a Weigher, which
+// additionally amortizes the anchor profile's symbol set across the pairs of
+// one block.
 func SharedBlocks(col *blocking.Collection, x, y int) int {
-	bx, by := col.BlocksOf(x), col.BlocksOf(y)
-	// BlocksOf returns fresh slices, so sorting in place is safe.
-	sortBlocksByKey(bx)
-	sortBlocksByKey(by)
+	sx := col.AppendLiveSymsOf(x, nil)
+	sy := col.AppendLiveSymsOf(y, nil)
+	slices.Sort(sx)
+	slices.Sort(sy)
 	n, i, j := 0, 0, 0
-	for i < len(bx) && j < len(by) {
+	for i < len(sx) && j < len(sy) {
 		switch {
-		case bx[i].Key < by[j].Key:
+		case sx[i] < sy[j]:
 			i++
-		case bx[i].Key > by[j].Key:
+		case sx[i] > sy[j]:
 			j++
 		default:
 			n++
@@ -248,16 +292,13 @@ func SharedBlocks(col *blocking.Collection, x, y int) int {
 	return n
 }
 
-func sortBlocksByKey(bs []*blocking.Block) {
-	sort.Slice(bs, func(i, j int) bool { return bs[i].Key < bs[j].Key })
-}
-
 // Weigher is a reusable per-pair CBS weigher for block-scan candidate
 // generation, where one anchor profile is weighed against many partners in a
-// row. It keeps the anchor's block-key set in a scratch map that is rebuilt
-// only when the anchor (or the collection state) changes and reuses key
-// buffers across calls, so steady-state weighing allocates nothing — unlike
-// the one-shot SharedBlocks, which builds both profiles' key lists per call.
+// row. It keeps the anchor's live block symbols as a sorted scratch slice
+// that is rebuilt only when the anchor (or the collection state) changes and
+// reuses buffers across calls, so steady-state weighing allocates nothing and
+// each partner symbol resolves by binary search over a dense uint32 slice —
+// no string hashing anywhere.
 //
 // A Weigher is single-goroutine state: strategies own one each (index
 // mutation is single-writer per the Strategy contract), never sharing it
@@ -267,31 +308,24 @@ type Weigher struct {
 	version uint64
 	anchor  int
 	valid   bool
-	set     map[string]struct{}
-	xbuf    []string
-	ybuf    []string
+	xbuf    []intern.Sym // anchor's live symbols, sorted
+	ybuf    []intern.Sym
 }
 
-// SharedBlocks counts the live blocks shared by x and y, caching x's key set
-// between calls. Callers should keep the anchor profile in the first
-// argument position across a scan to benefit from the cache; correctness
-// does not depend on it.
+// SharedBlocks counts the live blocks shared by x and y, caching x's sorted
+// symbol set between calls. Callers should keep the anchor profile in the
+// first argument position across a scan to benefit from the cache;
+// correctness does not depend on it.
 func (w *Weigher) SharedBlocks(col *blocking.Collection, x, y int) int {
 	if !w.valid || w.col != col || w.version != col.Version() || w.anchor != x {
-		if w.set == nil {
-			w.set = make(map[string]struct{}, 16)
-		}
-		clear(w.set)
-		w.xbuf = col.AppendLiveKeysOf(x, w.xbuf[:0])
-		for _, k := range w.xbuf {
-			w.set[k] = struct{}{}
-		}
+		w.xbuf = col.AppendLiveSymsOf(x, w.xbuf[:0])
+		slices.Sort(w.xbuf)
 		w.col, w.version, w.anchor, w.valid = col, col.Version(), x, true
 	}
-	w.ybuf = col.AppendLiveKeysOf(y, w.ybuf[:0])
+	w.ybuf = col.AppendLiveSymsOf(y, w.ybuf[:0])
 	n := 0
-	for _, k := range w.ybuf {
-		if _, ok := w.set[k]; ok {
+	for _, sym := range w.ybuf {
+		if _, ok := slices.BinarySearch(w.xbuf, sym); ok {
 			n++
 		}
 	}

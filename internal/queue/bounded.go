@@ -7,14 +7,24 @@ package queue
 // All PIER CmpIndex variants in the paper are "bounded priority queues"; this
 // type is their shared backbone. A capacity <= 0 means unbounded.
 type Bounded[T any] struct {
-	depq     *DEPQ[T]
+	depq     DEPQ[T]
 	capacity int
 }
 
 // NewBounded returns a bounded best-first queue with the given capacity and
 // order. less(a, b) must report whether a has strictly lower priority than b.
 func NewBounded[T any](capacity int, less func(a, b T) bool) *Bounded[T] {
-	return &Bounded[T]{depq: NewDEPQ(less), capacity: capacity}
+	b := &Bounded[T]{}
+	b.Init(capacity, less)
+	return b
+}
+
+// Init initializes b in place as an empty queue with the given capacity and
+// order — the value-embedding alternative to NewBounded for callers holding
+// many queues (one heap object for the enclosing struct instead of three).
+func (b *Bounded[T]) Init(capacity int, less func(a, b T) bool) {
+	*b = Bounded[T]{capacity: capacity}
+	b.depq.less = less
 }
 
 // Len returns the number of queued elements.

@@ -30,8 +30,10 @@ import (
 const Magic = "PIERSNAP"
 
 // Version is the current container format version. Readers reject any other
-// value.
-const Version uint32 = 1
+// value. Version 2 introduced the symbol-interned blocking index: the
+// collection and strategy sections persist dense uint32 symbols plus the
+// symbol table that resolves them, which version-1 snapshots predate.
+const Version uint32 = 2
 
 // maxSectionSize bounds a single section to guard the reader against
 // corrupted or adversarial length prefixes (1 GiB is far beyond any real
@@ -126,6 +128,11 @@ func NewReader(r io.Reader) (*Reader, error) {
 		return nil, fmt.Errorf("snapshot: bad magic %q (not a PIER snapshot)", hdr[:len(Magic)])
 	}
 	v := binary.LittleEndian.Uint32(hdr[len(Magic):])
+	if v == 1 {
+		// The common stale checkpoint after an upgrade deserves a precise
+		// diagnosis, not a generic number mismatch.
+		return nil, fmt.Errorf("snapshot: format version 1 predates the symbol-interned blocking index (this build reads version %d); re-ingest from the source — checkpoints are crash-recovery state, not an archive", Version)
+	}
 	if v != Version {
 		return nil, fmt.Errorf("snapshot: unsupported format version %d (this build reads version %d)", v, Version)
 	}

@@ -1,0 +1,76 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRejectVersion1Fixture pins the upgrade story for pre-symbol-table
+// checkpoints: a version-1 PIERSNAP (checked in under testdata, as written by
+// builds that predate the interned blocking index) must be rejected with a
+// diagnosis that names version 1 and tells the operator to re-ingest — not
+// with a decode error deep inside a section.
+func TestRejectVersion1Fixture(t *testing.T) {
+	raw, err := os.ReadFile("testdata/v1-header.piersnap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(raw[:len(Magic)]); got != Magic {
+		t.Fatalf("fixture magic = %q, want %q (fixture corrupted?)", got, Magic)
+	}
+	if v := binary.LittleEndian.Uint32(raw[len(Magic):]); v != 1 {
+		t.Fatalf("fixture version = %d, want 1 (fixture corrupted?)", v)
+	}
+	_, err = NewReader(bytes.NewReader(raw))
+	if err == nil {
+		t.Fatal("NewReader accepted a version-1 snapshot")
+	}
+	for _, want := range []string{"version 1", "symbol-interned", "re-ingest"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("version-1 error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestRejectUnknownVersion keeps the generic mismatch path intact for
+// versions this build has never heard of (e.g. a checkpoint from a newer
+// build).
+func TestRejectUnknownVersion(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	if err := binary.Write(&buf, binary.LittleEndian, Version+41); err != nil {
+		t.Fatal(err)
+	}
+	_, err := NewReader(&buf)
+	if err == nil || !strings.Contains(err.Error(), "unsupported format version") {
+		t.Fatalf("unknown version error = %v, want unsupported-format-version", err)
+	}
+}
+
+// TestRoundTripCurrentVersion writes a header with the current version and
+// reads it back — the happy path the version checks must not break.
+func TestRoundTripCurrentVersion(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type payload struct{ N int }
+	if err := w.Gob("meta", &payload{N: 7}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := r.Gob("meta", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N != 7 {
+		t.Fatalf("round trip N = %d, want 7", got.N)
+	}
+}

@@ -89,7 +89,7 @@ func TestParallelLiveResultDeterministic(t *testing.T) {
 	for name, mkSerial := range strategyMakers(1) {
 		mkParallel := strategyMakers(8)[name]
 		t.Run(name, func(t *testing.T) {
-			run := func(mk func() core.Strategy, parallelism int) *LiveResult {
+			run := func(mk func() core.Strategy, parallelism, shards int) *LiveResult {
 				l := LiveRun(mk(), LiveConfig{
 					CleanClean:   d.CleanClean,
 					MaxBlockSize: DefaultMaxBlockSize,
@@ -97,14 +97,15 @@ func TestParallelLiveResultDeterministic(t *testing.T) {
 					TickEvery:    time.Hour, // no idle ticks: arrivals only
 					GroundTruth:  d.GroundTruth,
 					Parallelism:  parallelism,
+					Shards:       shards,
 				})
 				for _, inc := range d.Increments(20) {
 					l.Push(inc)
 				}
 				return l.Stop()
 			}
-			serial := run(mkSerial, 1)
-			parallel := run(mkParallel, 8)
+			serial := run(mkSerial, 1, 1)
+			parallel := run(mkParallel, 8, 8)
 			if serial.Comparisons == 0 || serial.Matches == 0 {
 				t.Fatalf("serial run did no work: %+v", serial)
 			}

@@ -7,11 +7,13 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pier/internal/blocking"
 	"pier/internal/cluster"
 	"pier/internal/core"
+	"pier/internal/intern"
 	"pier/internal/match"
 	"pier/internal/metrics"
 	"pier/internal/obsv"
@@ -73,8 +75,14 @@ type LiveConfig struct {
 	// one worker per CPU; 1 forces exact serial execution; n > 1 uses n
 	// workers. Every setting produces identical results: verdicts are
 	// collected into a slice indexed by batch position before any cluster
-	// or stats update, so only wall-clock time changes.
+	// or stats update, so only wall-clock time changes. The same setting
+	// sizes the ingest pool that fans posting-list appends out across the
+	// blocking index's shards.
 	Parallelism int
+	// Shards is the blocking index's shard count — an ingest concurrency
+	// knob, never a semantic one (see blocking.NewCollectionSharded). 0
+	// selects the default heuristic; 1 forces an unsharded index.
+	Shards int
 	// OnMatch, if set, is called synchronously from the pipeline goroutine
 	// for every pair classified as a duplicate.
 	OnMatch func(LiveMatch)
@@ -271,12 +279,23 @@ type Live struct {
 	cfg      LiveConfig
 	strategy core.Strategy
 	incoming chan []*profile.Profile
-	ctrl     chan ckptReq
-	intr     chan struct{}
-	done     chan struct{}
-	result   *LiveResult
-	reg      *obsv.Registry
-	m        *liveMetrics
+	// prepped is the bounded hand-off between the prep stage — which
+	// tokenizes and interns each increment's blocking keys — and the
+	// pipeline goroutine, which indexes and weighs it. The small capacity
+	// lets preparation of increment N+1 overlap indexing of increment N
+	// without letting prepared-but-unindexed data grow unboundedly.
+	prepped chan preppedInc
+	// pushed counts increments acknowledged by Push; the loop counts how
+	// many it has ingested, and the checkpoint/interrupt drain runs the
+	// difference down so acknowledged data is always in the index before a
+	// snapshot is written.
+	pushed atomic.Int64
+	ctrl   chan ckptReq
+	intr   chan struct{}
+	done   chan struct{}
+	result *LiveResult
+	reg    *obsv.Registry
+	m      *liveMetrics
 
 	st *liveState // owned by the loop goroutine until done closes
 
@@ -301,7 +320,7 @@ type ckptRes struct {
 func LiveRun(strategy core.Strategy, cfg LiveConfig) *Live {
 	l := newLive(strategy, cfg)
 	st := &liveState{
-		col:      blocking.NewCollectionKeyed(cfg.CleanClean, cfg.MaxBlockSize, l.cfg.Keyer),
+		col:      blocking.NewCollectionSharded(cfg.CleanClean, cfg.MaxBlockSize, l.cfg.Keyer, cfg.Shards),
 		clusters: cluster.New(),
 		rec:      metrics.NewRecorder(l.cfg.GroundTruth, 500),
 		executed: make(map[uint64]struct{}),
@@ -309,8 +328,30 @@ func LiveRun(strategy core.Strategy, cfg LiveConfig) *Live {
 		start:    time.Now(),
 	}
 	l.st = st
+	go l.prep(st.col)
 	go l.loop(st)
 	return l
+}
+
+// preppedInc is one increment after the prep stage: the profiles plus their
+// interned blocking-key symbols, ready for AddBatchPrepared.
+type preppedInc struct {
+	inc  []*profile.Profile
+	syms [][]intern.Sym
+}
+
+// prep is the ingest pipeline's first stage: it tokenizes and interns each
+// pushed increment against the collection's symbol table (concurrency-safe,
+// append-only — the only collection state this goroutine touches) and hands it
+// to the pipeline goroutine over the bounded prepped channel. Increments flow
+// through strictly in push order, so ingestion order — and therefore every
+// result — is identical to the unpipelined pipeline's. When Push's channel
+// closes, prep flushes what remains and closes prepped.
+func (l *Live) prep(col *blocking.Collection) {
+	defer close(l.prepped)
+	for inc := range l.incoming {
+		l.prepped <- preppedInc{inc: inc, syms: col.PrepareBatch(inc)}
+	}
 }
 
 // newLive applies config defaults and builds the Live shell (no goroutine).
@@ -328,6 +369,7 @@ func newLive(strategy core.Strategy, cfg LiveConfig) *Live {
 		cfg:      cfg,
 		strategy: strategy,
 		incoming: make(chan []*profile.Profile, 64),
+		prepped:  make(chan preppedInc, 2),
 		ctrl:     make(chan ckptReq),
 		intr:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -351,7 +393,10 @@ func (l *Live) Push(increment []*profile.Profile) error {
 	}
 	// The send happens under l.mu so a concurrent Stop cannot close the
 	// channel mid-send; the pipeline goroutine keeps draining, so a full
-	// buffer still makes progress.
+	// buffer still makes progress. The acknowledgment counter rises before
+	// the send: by the time Push returns, the increment is both counted and
+	// in flight, so a later checkpoint drain knows to wait for it.
+	l.pushed.Add(1)
 	l.incoming <- increment
 	return nil
 }
@@ -445,12 +490,22 @@ func (l *Live) loop(st *liveState) {
 	ticker := time.NewTicker(l.cfg.TickEvery)
 	defer ticker.Stop()
 
-	ingest := func(inc []*profile.Profile) {
+	// ingestPool fans the posting-list appends of one increment out across
+	// the index shards; Parallelism 1 (or a single shard) keeps ingestion
+	// exactly serial. The collection state is identical either way.
+	ingestPool := pool.New(l.cfg.Parallelism)
+	// ingested counts increments taken off the prep stage, monotonically
+	// approaching l.pushed; only this goroutine touches it.
+	var ingested int64
+
+	ingest := func(pi preppedInc) {
+		ingested++
+		inc := pi.inc
 		t0 := time.Now()
-		for _, p := range inc {
-			st.col.Add(p)
-			st.res.Profiles++
-			if l.cfg.Window > 0 {
+		st.col.AddBatchPrepared(inc, pi.syms, ingestPool)
+		st.res.Profiles += len(inc)
+		if l.cfg.Window > 0 {
+			for _, p := range inc {
 				st.windowIDs = append(st.windowIDs, p.ID)
 			}
 		}
@@ -503,33 +558,34 @@ func (l *Live) loop(st *liveState) {
 
 	processBatch := func() { l.processBatch(st, matchPool, serialPool, prober) }
 
-	// drainBuffered folds increments still sitting in the incoming channel
-	// into the index. Push acknowledged them, so a snapshot taken now — via
-	// Checkpoint or after Interrupt — must contain them: acknowledged data
-	// survives a restore.
+	// drainBuffered folds every increment acknowledged by Push — whether
+	// it is still in the incoming channel, inside the prep stage, or parked
+	// on the prepped channel — into the index. Push acknowledged them, so a
+	// snapshot taken now — via Checkpoint or after Interrupt — must contain
+	// them: acknowledged data survives a restore. Receiving from prepped
+	// (blocking, up to the acknowledgment count observed on entry) is what
+	// flushes the prep stage: its only other blocking operation is reading
+	// incoming, so everything counted flows through here.
 	drainBuffered := func() {
-		for {
-			select {
-			case inc, ok := <-l.incoming:
-				if !ok {
-					return
-				}
-				ingest(inc)
-			default:
+		target := l.pushed.Load()
+		for ingested < target {
+			pi, ok := <-l.prepped
+			if !ok {
 				return
 			}
+			ingest(pi)
 		}
 	}
 
 	open := true
 	for open {
 		select {
-		case inc, ok := <-l.incoming:
+		case pi, ok := <-l.prepped:
 			if !ok {
 				open = false
 				break
 			}
-			ingest(inc)
+			ingest(pi)
 			processBatch()
 		case req := <-l.ctrl:
 			drainBuffered()
@@ -1012,7 +1068,7 @@ func RestoreLive(r io.Reader, strategy core.Strategy, cfg LiveConfig) (*Live, er
 	var col *blocking.Collection
 	if err := sr.Section("collection", func(r io.Reader) error {
 		var err error
-		col, err = blocking.Load(r, cfg.Keyer)
+		col, err = blocking.LoadSharded(r, cfg.Keyer, cfg.Shards)
 		return err
 	}); err != nil {
 		return nil, err
@@ -1071,6 +1127,7 @@ func RestoreLive(r io.Reader, strategy core.Strategy, cfg LiveConfig) (*Live, er
 	l.m.dedup.Set(int64(len(st.executed)))
 	l.m.retryPending.Set(int64(len(st.retryQ)))
 	l.st = st
+	go l.prep(st.col)
 	go l.loop(st)
 	return l, nil
 }

@@ -261,6 +261,12 @@ type Options struct {
 	// identical for every setting (parallel work is merged back in
 	// deterministic order); only throughput changes.
 	Parallelism int
+	// Shards is the blocking index's shard count, rounded up to a power of
+	// two and clamped to [1, 256]. It is an ingest concurrency knob, never a
+	// semantic one: the pipeline's results are identical for every value. 0
+	// (the default) picks the smallest power of two >= GOMAXPROCS, capped at
+	// 64; 1 forces an unsharded index.
+	Shards int
 	// Blocking selects the blocking-key extractor (default TokenBlocking).
 	Blocking Blocking
 	// Window bounds the number of profiles held in memory for unbounded

@@ -61,6 +61,7 @@ func build(opt Options) (*Pipeline, core.Strategy, stream.LiveConfig, error) {
 		ContextMatcher: opt.contextMatcher(),
 		TickEvery:      opt.TickEvery,
 		Parallelism:    opt.Parallelism,
+		Shards:         opt.Shards,
 		Keyer:          opt.keyer(),
 		Window:         opt.Window,
 		Metrics:        reg,
