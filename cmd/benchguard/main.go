@@ -22,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"strconv"
@@ -39,7 +40,12 @@ type baselineFile struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+.*?\s(\d+)\s+allocs/op`)
 
 // stripProcs removes the trailing -GOMAXPROCS from a benchmark name, so
-// baselines are portable across runner core counts.
+// baselines are portable across runner core counts. It must only be applied
+// when the raw name does not itself match a baseline key: go test omits the
+// suffix entirely when GOMAXPROCS=1, and a sub-benchmark whose own name ends
+// in -N (e.g. BenchmarkShardedUpdateIndex/shards-4) would otherwise be
+// mangled into a name the baseline has never heard of. resolveNames applies
+// that policy; stripProcs is just the mechanical suffix cut.
 func stripProcs(name string) string {
 	if i := strings.LastIndex(name, "-"); i > 0 {
 		if _, err := strconv.Atoi(name[i+1:]); err == nil {
@@ -47,6 +53,84 @@ func stripProcs(name string) string {
 		}
 	}
 	return name
+}
+
+// parseBench scans -benchmem output, echoing every line to echo (so CI logs
+// keep the raw numbers) and collecting allocs/op per raw benchmark name.
+// When -count repeats a benchmark the worst (highest) observation wins.
+func parseBench(r io.Reader, echo io.Writer) (map[string]float64, error) {
+	got := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		allocs, _ := strconv.ParseFloat(m[2], 64)
+		if prev, ok := got[m[1]]; !ok || allocs > prev {
+			got[m[1]] = allocs
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return got, nil
+}
+
+// resolveNames maps raw benchmark names onto baseline keys. A raw name that
+// is itself a baseline key is taken verbatim — never stripped, so a
+// legitimate trailing -N in a sub-benchmark name (shards-4) survives even on
+// single-core runners where go test adds no procs suffix. Only when the raw
+// name misses the baseline is the -GOMAXPROCS suffix stripped, and the
+// stripped form is used only if it actually hits a baseline key. Names that
+// match nothing are kept raw (they are simply unguarded). When stripping
+// collapses several raw names onto one key, the worst observation wins.
+func resolveNames(got, base map[string]float64) map[string]float64 {
+	resolved := make(map[string]float64, len(got))
+	for raw, v := range got {
+		name := raw
+		if _, inBase := base[raw]; !inBase {
+			if s := stripProcs(raw); s != raw {
+				if _, ok := base[s]; ok {
+					name = s
+				}
+			}
+		}
+		if prev, ok := resolved[name]; !ok || v > prev {
+			resolved[name] = v
+		}
+	}
+	return resolved
+}
+
+// gate compares each guarded baseline entry against the resolved
+// observations, writing verdicts to out/errOut. It returns true when any
+// guarded benchmark regressed past maxRegress or is missing from the input.
+func gate(base, resolved map[string]float64, maxRegress float64, out, errOut io.Writer) bool {
+	failed := false
+	for name, want := range base {
+		have, ok := resolved[name]
+		if !ok {
+			fmt.Fprintf(errOut, "benchguard: FAIL %s: guarded benchmark missing from input\n", name)
+			failed = true
+			continue
+		}
+		limit := want * (1 + maxRegress)
+		switch {
+		case have > limit:
+			fmt.Fprintf(errOut, "benchguard: FAIL %s: %.0f allocs/op exceeds baseline %.0f by more than %.0f%% (limit %.0f)\n",
+				name, have, want, maxRegress*100, limit)
+			failed = true
+		case have < want:
+			fmt.Fprintf(out, "benchguard: ok   %s: %.0f allocs/op (improved from baseline %.0f — consider re-recording)\n", name, have, want)
+		default:
+			fmt.Fprintf(out, "benchguard: ok   %s: %.0f allocs/op (baseline %.0f, limit %.0f)\n", name, have, want, limit)
+		}
+	}
+	return failed
 }
 
 func main() {
@@ -69,49 +153,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	got := make(map[string]float64)
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		fmt.Println(line) // pass the output through so CI logs keep the raw numbers
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		allocs, _ := strconv.ParseFloat(m[2], 64)
-		// Keep the worst (highest) observation when -count repeats a benchmark.
-		name := stripProcs(m[1])
-		if prev, ok := got[name]; !ok || allocs > prev {
-			got[name] = allocs
-		}
-	}
-	if err := sc.Err(); err != nil {
+	got, err := parseBench(os.Stdin, os.Stdout)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: read stdin: %v\n", err)
 		os.Exit(2)
 	}
-
-	failed := false
-	for name, want := range base.GuardBaseline {
-		have, ok := got[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: guarded benchmark missing from input\n", name)
-			failed = true
-			continue
-		}
-		limit := want * (1 + *maxRegress)
-		switch {
-		case have > limit:
-			fmt.Fprintf(os.Stderr, "benchguard: FAIL %s: %.0f allocs/op exceeds baseline %.0f by more than %.0f%% (limit %.0f)\n",
-				name, have, want, *maxRegress*100, limit)
-			failed = true
-		case have < want:
-			fmt.Printf("benchguard: ok   %s: %.0f allocs/op (improved from baseline %.0f — consider re-recording)\n", name, have, want)
-		default:
-			fmt.Printf("benchguard: ok   %s: %.0f allocs/op (baseline %.0f, limit %.0f)\n", name, have, want, limit)
-		}
-	}
-	if failed {
+	resolved := resolveNames(got, base.GuardBaseline)
+	if gate(base.GuardBaseline, resolved, *maxRegress, os.Stdout, os.Stderr) {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestStripProcs(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"BenchmarkFoo-8", "BenchmarkFoo"},
+		{"BenchmarkStrategyUpdateIndex/I-PCS/p1-4", "BenchmarkStrategyUpdateIndex/I-PCS/p1"},
+		{"BenchmarkShardedUpdateIndex/shards-4", "BenchmarkShardedUpdateIndex/shards"},
+		{"BenchmarkFoo", "BenchmarkFoo"},
+		{"BenchmarkFoo-x", "BenchmarkFoo-x"},
+	}
+	for _, c := range cases {
+		if got := stripProcs(c.in); got != c.want {
+			t.Errorf("stripProcs(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBench(t *testing.T) {
+	// GOMAXPROCS=1 output: go test adds no -N suffix, so the trailing -4 in
+	// shards-4 is part of the sub-benchmark name itself.
+	input := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkShardedUpdateIndex/shards-4         	       5	   1200000 ns/op	  500000 B/op	    2000 allocs/op",
+		"BenchmarkStrategyUpdateIndex/I-PCS/p1         	       5	   1000000 ns/op	  400000 B/op	    1500 allocs/op",
+		"BenchmarkStrategyUpdateIndex/I-PCS/p1         	       5	   1100000 ns/op	  400000 B/op	    1600 allocs/op",
+		"PASS",
+	}, "\n")
+	got, err := parseBench(strings.NewReader(input), io.Discard)
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	if got["BenchmarkShardedUpdateIndex/shards-4"] != 2000 {
+		t.Errorf("shards-4 allocs = %v, want 2000 (raw name must be preserved at parse time)", got["BenchmarkShardedUpdateIndex/shards-4"])
+	}
+	// Repeated benchmark (-count): worst observation wins.
+	if got["BenchmarkStrategyUpdateIndex/I-PCS/p1"] != 1600 {
+		t.Errorf("repeated benchmark allocs = %v, want the worst (1600)", got["BenchmarkStrategyUpdateIndex/I-PCS/p1"])
+	}
+}
+
+func TestResolveNamesSingleCore(t *testing.T) {
+	// GOMAXPROCS=1 (this repo's CI): no procs suffix, and a sub-benchmark
+	// whose own name ends in -N must NOT be stripped — the old code cut
+	// shards-4 down to shards and the gate reported it missing.
+	base := map[string]float64{
+		"BenchmarkShardedUpdateIndex/shards-4":  2000,
+		"BenchmarkStrategyUpdateIndex/I-PCS/p1": 1500,
+	}
+	got := map[string]float64{
+		"BenchmarkShardedUpdateIndex/shards-4":  2000,
+		"BenchmarkStrategyUpdateIndex/I-PCS/p1": 1500,
+	}
+	resolved := resolveNames(got, base)
+	for name, want := range base {
+		if resolved[name] != want {
+			t.Errorf("resolved[%q] = %v, want %v (resolved map: %v)", name, resolved[name], want, resolved)
+		}
+	}
+	if gate(base, resolved, 0.10, io.Discard, io.Discard) {
+		t.Error("gate failed on exact-match single-core names; no benchmark should be missing")
+	}
+}
+
+func TestResolveNamesMultiCore(t *testing.T) {
+	// GOMAXPROCS=8: go test appends -8; the raw names miss the baseline and
+	// the stripped forms hit it. The sub-benchmark with its own -4 gets the
+	// procs suffix on top: shards-4-8 → shards-4.
+	base := map[string]float64{
+		"BenchmarkShardedUpdateIndex/shards-4":  2000,
+		"BenchmarkStrategyUpdateIndex/I-PCS/p1": 1500,
+	}
+	got := map[string]float64{
+		"BenchmarkShardedUpdateIndex/shards-4-8":  2100,
+		"BenchmarkStrategyUpdateIndex/I-PCS/p1-8": 1400,
+	}
+	resolved := resolveNames(got, base)
+	if resolved["BenchmarkShardedUpdateIndex/shards-4"] != 2100 {
+		t.Errorf("shards-4-8 did not resolve to shards-4: %v", resolved)
+	}
+	if resolved["BenchmarkStrategyUpdateIndex/I-PCS/p1"] != 1400 {
+		t.Errorf("p1-8 did not resolve to p1: %v", resolved)
+	}
+	if gate(base, resolved, 0.10, io.Discard, io.Discard) {
+		t.Error("gate failed on multi-core names within the regress limit")
+	}
+}
+
+func TestResolveNamesUnknownKeptRaw(t *testing.T) {
+	base := map[string]float64{"BenchmarkGuarded": 100}
+	got := map[string]float64{
+		"BenchmarkGuarded":     90,
+		"BenchmarkUnguarded-2": 5,
+	}
+	resolved := resolveNames(got, base)
+	if _, ok := resolved["BenchmarkUnguarded-2"]; !ok {
+		t.Errorf("unguarded name stripped even though neither form is a baseline key: %v", resolved)
+	}
+}
+
+func TestGateRegressionAndMissing(t *testing.T) {
+	base := map[string]float64{
+		"BenchmarkA": 100,
+		"BenchmarkB": 100,
+	}
+	// A regressed past 10%, B is missing entirely.
+	resolved := map[string]float64{"BenchmarkA": 120}
+	var errOut strings.Builder
+	if !gate(base, resolved, 0.10, io.Discard, &errOut) {
+		t.Fatal("gate passed despite a regression and a missing benchmark")
+	}
+	if !strings.Contains(errOut.String(), "BenchmarkA") || !strings.Contains(errOut.String(), "BenchmarkB") {
+		t.Errorf("gate output missing verdicts: %q", errOut.String())
+	}
+
+	// Within the limit: passes.
+	if gate(base, map[string]float64{"BenchmarkA": 105, "BenchmarkB": 100}, 0.10, io.Discard, io.Discard) {
+		t.Error("gate failed within the regress limit")
+	}
+}

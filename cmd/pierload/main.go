@@ -1,0 +1,375 @@
+// Command pierload is the serving-path load generator: it ingests a synthetic
+// dataset into a live pipeline while firing an open-loop stream of point
+// queries (Pipeline.Query) at it, and records the achieved SLOs — latency
+// percentiles, admission counts, match counts — as JSON for the benchmark
+// artifacts (BENCH_serving.json).
+//
+//	pierload -dataset da -scale 0.1 -qps 500 -duration 5s -shape bursty
+//
+// The query stream is open-loop: arrivals follow the configured shape
+// (uniform, bursty, or zipf inter-arrival gaps from internal/dataset) and are
+// issued regardless of how fast earlier queries complete, the way real
+// clients behave. Probes and tenants are drawn with Zipf popularity — hot
+// entities and heavy tenants dominate, mirroring production skew. Overload
+// and rate-limit rejections are counted, not retried: fast-fail is the
+// behavior under test.
+//
+// Latency percentiles are computed exactly from the full sorted sample, not
+// from histogram buckets — the load generator is the reference the serving
+// histograms (pier_query_seconds) are judged against.
+//
+// Exit codes: 0 on success, 2 for usage errors, 1 for runtime failures.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"pier"
+	"pier/internal/dataset"
+	"pier/internal/profile"
+)
+
+const (
+	exitOK      = 0
+	exitRuntime = 1
+	exitUsage   = 2
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// report is the JSON artifact written to -out.
+type report struct {
+	Meta    meta    `json:"meta"`
+	Ingest  ingest  `json:"ingest"`
+	Serving serving `json:"serving"`
+}
+
+type meta struct {
+	Dataset     string  `json:"dataset"`
+	Scale       float64 `json:"scale"`
+	Algorithm   string  `json:"algorithm"`
+	Increments  int     `json:"increments"`
+	IngestRate  float64 `json:"ingest_rate_per_s"`
+	Shape       string  `json:"shape"`
+	QPS         float64 `json:"qps"`
+	DurationSec float64 `json:"duration_s"`
+	Seed        int64   `json:"seed"`
+	TopK        int     `json:"topk"`
+	MaxInFlight int     `json:"max_inflight"`
+	QueryRate   float64 `json:"query_rate_per_tenant"`
+	Tenants     int     `json:"tenants"`
+}
+
+type ingest struct {
+	Profiles    int     `json:"profiles"`
+	Increments  int     `json:"increments"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	Comparisons int     `json:"comparisons"`
+	Matches     int     `json:"matches"`
+}
+
+type serving struct {
+	Queries           int     `json:"queries"`
+	Accepted          int     `json:"accepted"`
+	RejectedOverload  int     `json:"rejected_overload"`
+	RejectedRateLimit int     `json:"rejected_ratelimit"`
+	Errors            int     `json:"errors"`
+	P50MS             float64 `json:"p50_ms"`
+	P95MS             float64 `json:"p95_ms"`
+	P99MS             float64 `json:"p99_ms"`
+	MeanMS            float64 `json:"mean_ms"`
+	MaxMS             float64 `json:"max_ms"`
+	Matches           int     `json:"matches"`
+}
+
+// collector accumulates per-query outcomes from the query goroutines.
+type collector struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	accepted  int
+	overload  int
+	ratelimit int
+	errors    int
+	matches   int
+}
+
+func (c *collector) record(elapsed time.Duration, res *pier.QueryResult, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case errors.Is(err, pier.ErrOverloaded):
+		c.overload++
+	case errors.Is(err, pier.ErrRateLimited):
+		c.ratelimit++
+	case err != nil:
+		c.errors++
+	default:
+		c.accepted++
+		c.latencies = append(c.latencies, elapsed)
+		for _, cand := range res.Candidates {
+			if cand.Match {
+				c.matches++
+			}
+		}
+	}
+}
+
+// percentile returns the exact q-quantile (nearest-rank) of sorted samples.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// toPublic converts an internal dataset profile to the public API type.
+func toPublic(p *profile.Profile) pier.Profile {
+	out := pier.Profile{Key: p.EntityKey, SourceB: p.Source == profile.SourceB}
+	out.Attributes = make([]pier.Attribute, len(p.Attributes))
+	for i, a := range p.Attributes {
+		out.Attributes[i] = pier.Attribute{Name: a.Name, Value: a.Value}
+	}
+	return out
+}
+
+// run is the testable body of the command, per the cmd convention.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pierload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dsName := fs.String("dataset", "da", "synthetic dataset: da, movies, census, or webdata")
+	scale := fs.Float64("scale", 0.1, "dataset scale factor")
+	seed := fs.Int64("seed", 1, "deterministic seed for data, arrivals, and popularity")
+	alg := fs.String("algorithm", "I-PES", "prioritization strategy for the ingest side")
+	nIncs := fs.Int("increments", 50, "number of increments to split the stream into")
+	rate := fs.Float64("rate", 100, "ingest rate in increments per second (0 = as fast as possible)")
+	qps := fs.Float64("qps", 200, "mean query arrival rate (open loop)")
+	duration := fs.Duration("duration", 5*time.Second, "length of the query phase")
+	shapeFlag := fs.String("shape", "uniform", "arrival shape: uniform, bursty, or zipf")
+	topK := fs.Int("topk", 0, "candidates run through the matcher per query (0 = default 10, negative = all)")
+	maxInFlight := fs.Int("max-inflight", 0, "admission bound (0 = default 64, negative = unbounded)")
+	queryRate := fs.Float64("query-rate", 0, "per-tenant rate limit in qps (0 disables)")
+	queryBurst := fs.Float64("query-burst", 0, "per-tenant burst capacity (0 = one second of query-rate)")
+	tenants := fs.Int("tenants", 4, "number of tenants issuing queries (Zipf popularity)")
+	out := fs.String("out", "BENCH_serving.json", "output JSON artifact (empty writes to stdout)")
+	verbose := fs.Bool("v", false, "print per-phase progress")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "pierload:", err)
+		return exitRuntime
+	}
+	usage := func(msg string) int {
+		fmt.Fprintln(stderr, "pierload:", msg)
+		return exitUsage
+	}
+
+	shape, err := dataset.ParseShape(*shapeFlag)
+	if err != nil {
+		return usage(err.Error())
+	}
+	var d *dataset.Dataset
+	switch *dsName {
+	case "da":
+		d = dataset.DA(*scale, *seed)
+	case "movies":
+		d = dataset.Movies(*scale, *seed)
+	case "census":
+		d = dataset.Census(*scale, *seed)
+	case "webdata":
+		d = dataset.WebData(*scale, *seed)
+	default:
+		return usage(fmt.Sprintf("unknown dataset %q (want da, movies, census, or webdata)", *dsName))
+	}
+	nQueries := int(*qps * duration.Seconds())
+	if nQueries <= 0 {
+		return usage("-qps and -duration must produce at least one query")
+	}
+	if *tenants <= 0 {
+		return usage("-tenants must be positive")
+	}
+
+	p, err := pier.NewPipeline(pier.Options{
+		Algorithm:          pier.Algorithm(*alg),
+		CleanClean:         d.CleanClean,
+		QueryTopK:          *topK,
+		MaxInFlightQueries: *maxInFlight,
+		QueryRate:          *queryRate,
+		QueryBurst:         *queryBurst,
+	})
+	if err != nil {
+		return usage(err.Error())
+	}
+
+	incs := d.Increments(*nIncs)
+	public := make([][]pier.Profile, len(incs))
+	for i, inc := range incs {
+		public[i] = make([]pier.Profile, len(inc))
+		for j, pr := range inc {
+			public[i][j] = toPublic(pr)
+		}
+	}
+
+	// Seed the index with the first increment before queries start, then
+	// ingest the rest concurrently with the query phase: the point of the
+	// load test is serving during active ingest, not after it.
+	ingestStart := time.Now()
+	if err := p.Push(public[0]); err != nil {
+		return fail(err)
+	}
+	var ingestElapsed time.Duration
+	ingestDone := make(chan error, 1)
+	go func() {
+		var interval time.Duration
+		if *rate > 0 {
+			interval = time.Duration(float64(time.Second) / *rate)
+		}
+		for _, inc := range public[1:] {
+			if interval > 0 {
+				time.Sleep(interval)
+			}
+			if err := p.Push(inc); err != nil {
+				ingestDone <- err
+				return
+			}
+		}
+		ingestElapsed = time.Since(ingestStart)
+		ingestDone <- nil
+	}()
+
+	// Open-loop query phase: walk the arrival schedule, firing one goroutine
+	// per arrival regardless of how many are still in flight. Probes are
+	// copies of indexed profiles; the pipeline never learns it is being
+	// probed with its own data.
+	gaps := dataset.Arrivals(shape, nQueries, *qps, *seed+1)
+	probePick := dataset.NewZipfPicker(d.NumProfiles(), 1.3, *seed+2)
+	tenantPick := dataset.NewZipfPicker(*tenants, 1.5, *seed+3)
+	probes := make([]pier.Profile, d.NumProfiles())
+	for i, pr := range d.Profiles {
+		probes[i] = toPublic(pr)
+	}
+
+	if *verbose {
+		fmt.Fprintf(stdout, "pierload: %s, %d profiles in %d increments; %d queries over %v (%s)\n",
+			d, d.NumProfiles(), len(incs), nQueries, *duration, shape)
+	}
+	col := &collector{}
+	var wg sync.WaitGroup
+	queryStart := time.Now()
+	for _, gap := range gaps {
+		time.Sleep(gap)
+		probe := probes[probePick.Pick()]
+		tenant := fmt.Sprintf("tenant-%d", tenantPick.Pick())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			res, err := p.QueryTenant(context.Background(), tenant, probe)
+			col.record(time.Since(t0), res, err)
+		}()
+	}
+	wg.Wait()
+	queryElapsed := time.Since(queryStart)
+
+	if err := <-ingestDone; err != nil {
+		return fail(fmt.Errorf("ingest: %w", err))
+	}
+	if ingestElapsed == 0 {
+		ingestElapsed = time.Since(ingestStart)
+	}
+	summary := p.Stop()
+
+	sort.Slice(col.latencies, func(i, j int) bool { return col.latencies[i] < col.latencies[j] })
+	var total, max time.Duration
+	for _, l := range col.latencies {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	var mean time.Duration
+	if len(col.latencies) > 0 {
+		mean = total / time.Duration(len(col.latencies))
+	}
+
+	rep := report{
+		Meta: meta{
+			Dataset:     *dsName,
+			Scale:       *scale,
+			Algorithm:   *alg,
+			Increments:  len(incs),
+			IngestRate:  *rate,
+			Shape:       string(shape),
+			QPS:         *qps,
+			DurationSec: duration.Seconds(),
+			Seed:        *seed,
+			TopK:        *topK,
+			MaxInFlight: *maxInFlight,
+			QueryRate:   *queryRate,
+			Tenants:     *tenants,
+		},
+		Ingest: ingest{
+			Profiles:    summary.Profiles,
+			Increments:  len(incs),
+			ElapsedMS:   ms(ingestElapsed),
+			Comparisons: summary.Comparisons,
+			Matches:     summary.Matches,
+		},
+		Serving: serving{
+			Queries:           nQueries,
+			Accepted:          col.accepted,
+			RejectedOverload:  col.overload,
+			RejectedRateLimit: col.ratelimit,
+			Errors:            col.errors,
+			P50MS:             ms(percentile(col.latencies, 0.50)),
+			P95MS:             ms(percentile(col.latencies, 0.95)),
+			P99MS:             ms(percentile(col.latencies, 0.99)),
+			MeanMS:            ms(mean),
+			MaxMS:             ms(max),
+			Matches:           col.matches,
+		},
+	}
+	if *verbose {
+		fmt.Fprintf(stdout, "pierload: query phase %v: %d accepted, %d overload, %d rate-limited, %d errors\n",
+			queryElapsed.Round(time.Millisecond), col.accepted, col.overload, col.ratelimit, col.errors)
+		fmt.Fprintf(stdout, "pierload: p50 %.2fms p95 %.2fms p99 %.2fms max %.2fms, %d probe matches\n",
+			rep.Serving.P50MS, rep.Serving.P95MS, rep.Serving.P99MS, rep.Serving.MaxMS, col.matches)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fail(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "" {
+		stdout.Write(blob)
+		return exitOK
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(stdout, "pierload: wrote %s (p50 %.2fms, p99 %.2fms, %d/%d accepted)\n",
+		*out, rep.Serving.P50MS, rep.Serving.P99MS, col.accepted, nQueries)
+	return exitOK
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunSmoke exercises the full load-generator path on a tiny workload and
+// checks the JSON artifact is well-formed and internally consistent.
+func TestRunSmoke(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "serving.json")
+	var stdout, stderr strings.Builder
+	code := run([]string{
+		"-dataset", "da", "-scale", "0.02", "-increments", "5",
+		"-rate", "100", "-qps", "100", "-duration", "500ms",
+		"-shape", "bursty", "-tenants", "2", "-out", out, "-v",
+	}, &stdout, &stderr)
+	if code != exitOK {
+		t.Fatalf("run exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+
+	blob, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("artifact missing: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	s := rep.Serving
+	if s.Queries <= 0 {
+		t.Fatal("no queries issued")
+	}
+	if got := s.Accepted + s.RejectedOverload + s.RejectedRateLimit + s.Errors; got != s.Queries {
+		t.Errorf("outcome counts sum to %d, want %d", got, s.Queries)
+	}
+	if s.Accepted == 0 {
+		t.Error("every query was rejected on an unloaded pipeline")
+	}
+	if s.Errors > 0 {
+		t.Errorf("%d queries failed", s.Errors)
+	}
+	if s.P50MS > s.P99MS || s.P99MS > s.MaxMS {
+		t.Errorf("percentiles not monotone: p50=%.3f p99=%.3f max=%.3f", s.P50MS, s.P99MS, s.MaxMS)
+	}
+	if rep.Ingest.Profiles <= 0 {
+		t.Error("no profiles ingested")
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-dataset", "nope"},
+		{"-shape", "poisson"},
+		{"-qps", "0"},
+		{"-tenants", "0"},
+		{"-algorithm", "NOT-AN-ALG"},
+	}
+	for _, args := range cases {
+		var stdout, stderr strings.Builder
+		if code := run(args, &stdout, &stderr); code != exitUsage {
+			t.Errorf("run(%v) = %d, want %d (stderr: %s)", args, code, exitUsage, stderr.String())
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond
+	}
+	if got := percentile(samples, 0.50); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", got)
+	}
+	if got := percentile(samples, 0.99); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", got)
+	}
+	if got := percentile(samples, 1.0); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v, want 100ms", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}

@@ -68,9 +68,13 @@ type shard struct {
 }
 
 // Collection is an incrementally maintained block collection plus the
-// profile registry for all profiles seen so far. Apart from AddBatch's
-// internal fan-out it is not safe for concurrent use; the pipeline runners
-// serialize access.
+// profile registry for all profiles seen so far. Mutations follow a
+// single-writer contract: only the pipeline's owner goroutine calls Add,
+// AddBatch, or Remove (AddBatch's internal fan-out is the one exception, and
+// it synchronizes on the shard mutexes). The owner's own reads therefore stay
+// lock-free. Concurrent *readers* on other goroutines — the online query path
+// — must go through the Probe* accessors, which snapshot state under regMu
+// and the shard mutexes; see probe.go.
 type Collection struct {
 	cleanClean   bool
 	maxBlockSize int // purge threshold; 0 disables purging
@@ -80,6 +84,12 @@ type Collection struct {
 	shards []shard
 	mask   intern.Sym // len(shards)-1; shard of sym s is s & mask
 
+	// regMu guards the profile registry (profiles, ofProf) against the
+	// Probe* readers. The owner takes the write lock around registry
+	// mutations and reads without locking (same goroutine as every writer);
+	// query goroutines take the read lock. Lock order: regMu before any
+	// shard mutex, never the reverse.
+	regMu    sync.RWMutex
 	profiles map[int]*profile.Profile
 	ofProf   map[int][]intern.Sym // profile ID -> symbols of blocks it was added to
 
@@ -207,7 +217,9 @@ func (c *Collection) Add(p *profile.Profile) int {
 	if _, dup := c.profiles[p.ID]; dup {
 		panic(fmt.Sprintf("blocking: duplicate profile ID %d", p.ID))
 	}
+	c.regMu.Lock()
 	c.profiles[p.ID] = p
+	c.regMu.Unlock()
 	c.version++
 	toks := c.keyer(p)
 	syms := make([]intern.Sym, 0, len(toks))
@@ -221,7 +233,9 @@ func (c *Collection) Add(p *profile.Profile) int {
 			syms = append(syms, sym)
 		}
 	}
+	c.regMu.Lock()
 	c.ofProf[p.ID] = syms
+	c.regMu.Unlock()
 	return len(toks)
 }
 
@@ -232,7 +246,9 @@ func (c *Collection) addPrepared(p *profile.Profile, syms []intern.Sym) int {
 	if _, dup := c.profiles[p.ID]; dup {
 		panic(fmt.Sprintf("blocking: duplicate profile ID %d", p.ID))
 	}
+	c.regMu.Lock()
 	c.profiles[p.ID] = p
+	c.regMu.Unlock()
 	c.version++
 	kept := make([]intern.Sym, 0, len(syms))
 	for _, sym := range syms {
@@ -244,7 +260,9 @@ func (c *Collection) addPrepared(p *profile.Profile, syms []intern.Sym) int {
 			kept = append(kept, sym)
 		}
 	}
+	c.regMu.Lock()
 	c.ofProf[p.ID] = kept
+	c.regMu.Unlock()
 	return len(syms)
 }
 
@@ -311,8 +329,10 @@ func (c *Collection) AddBatchPrepared(delta []*profile.Profile, symsOf [][]inter
 		_, keptOf = c.batchScratch(len(delta))
 	}
 	total := 0
+	c.regMu.Lock()
 	for i, p := range delta {
 		if _, dup := c.profiles[p.ID]; dup {
+			c.regMu.Unlock()
 			panic(fmt.Sprintf("blocking: duplicate profile ID %d", p.ID))
 		}
 		c.profiles[p.ID] = p
@@ -322,6 +342,7 @@ func (c *Collection) AddBatchPrepared(delta []*profile.Profile, symsOf [][]inter
 		}
 		keptOf[i] = keptOf[i][:len(symsOf[i])]
 	}
+	c.regMu.Unlock()
 	c.version += uint64(len(delta))
 	workers.ForEach(len(c.shards), func(si int) {
 		sh := &c.shards[si]
@@ -341,6 +362,7 @@ func (c *Collection) AddBatchPrepared(delta []*profile.Profile, symsOf [][]inter
 			}
 		}
 	})
+	c.regMu.Lock()
 	for i, p := range delta {
 		syms := symsOf[i]
 		kept := make([]intern.Sym, 0, len(syms))
@@ -351,6 +373,7 @@ func (c *Collection) AddBatchPrepared(delta []*profile.Profile, symsOf [][]inter
 		}
 		c.ofProf[p.ID] = kept
 	}
+	c.regMu.Unlock()
 	return total
 }
 
@@ -383,8 +406,10 @@ func (c *Collection) Remove(id int) {
 	}
 	for _, sym := range c.ofProf[id] {
 		sh := c.shardOf(sym)
+		sh.mu.Lock()
 		b, live := sh.blocks[sym]
 		if !live {
+			sh.mu.Unlock()
 			continue
 		}
 		b.A = removeID(b.A, id)
@@ -392,9 +417,12 @@ func (c *Collection) Remove(id int) {
 		if b.Size() == 0 {
 			delete(sh.blocks, sym)
 		}
+		sh.mu.Unlock()
 	}
+	c.regMu.Lock()
 	delete(c.ofProf, id)
 	delete(c.profiles, id)
+	c.regMu.Unlock()
 	c.version++
 }
 

@@ -1,0 +1,120 @@
+package blocking
+
+import (
+	"pier/internal/intern"
+	"pier/internal/profile"
+)
+
+// This file is the concurrent read path of the collection: the Probe*
+// accessors serve online point queries from arbitrary goroutines while the
+// owner goroutine keeps ingesting. Every accessor returns point-in-time
+// copies taken under regMu (registry) and the shard mutexes (posting lists),
+// so callers never alias memory the writer may touch next. The owner's own
+// accessors (BlocksOf, Profile, ...) remain lock-free and owner-only.
+//
+// Probe lookups never intern: a probe's tokens are resolved with the symbol
+// table's read-only lookup, so a stream of junk probes cannot grow the
+// symbol table or touch the shards' write state at all.
+
+// Posting is a point-in-time copy of one live block, safe to read after the
+// shard lock is released.
+type Posting struct {
+	// Sym is the block's interned symbol.
+	Sym intern.Sym
+	// Key is the blocking key (token) that defines the block.
+	Key string
+	// A and B are copies of the per-source member ID lists.
+	A, B []int
+}
+
+// Size returns the number of profiles in the posting copy.
+func (p *Posting) Size() int { return len(p.A) + len(p.B) }
+
+// Comparisons returns ||b|| of the copied block, mirroring Block.Comparisons.
+func (p *Posting) Comparisons(cleanClean bool) int {
+	if cleanClean {
+		return len(p.A) * len(p.B)
+	}
+	n := p.Size()
+	return n * (n - 1) / 2
+}
+
+// ProbeSyms resolves the probe's blocking keys to symbols without interning:
+// keys never seen by ingest are dropped (they cannot have a block). Safe for
+// concurrent use with ingest.
+func (c *Collection) ProbeSyms(p *profile.Profile) []intern.Sym {
+	keys := c.keyer(p)
+	syms := make([]intern.Sym, 0, len(keys))
+	for _, k := range keys {
+		if sym, ok := c.tab.Sym(k); ok {
+			syms = append(syms, sym)
+		}
+	}
+	return syms
+}
+
+// ProbePostings copies the live blocks of the given symbols, skipping
+// symbols whose blocks are missing or purged. Each shard is locked only for
+// the duration of its own copies. Safe for concurrent use with ingest.
+func (c *Collection) ProbePostings(syms []intern.Sym) []Posting {
+	out := make([]Posting, 0, len(syms))
+	for _, sym := range syms {
+		sh := c.shardOf(sym)
+		sh.mu.Lock()
+		b, ok := sh.blocks[sym]
+		if ok {
+			out = append(out, Posting{
+				Sym: sym,
+				Key: b.Key,
+				A:   append([]int(nil), b.A...),
+				B:   append([]int(nil), b.B...),
+			})
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// ProbeProfile returns the registered profile with the given ID, or nil if
+// it is unknown or was evicted. Safe for concurrent use with ingest. The
+// returned profile itself is immutable after registration (its lazy token
+// cache is sync.Once-guarded), so reading it without further locking is
+// fine.
+func (c *Collection) ProbeProfile(id int) *profile.Profile {
+	c.regMu.RLock()
+	p := c.profiles[id]
+	c.regMu.RUnlock()
+	return p
+}
+
+// ProbeNumBlocks counts the live blocks under the shard locks — the |B|
+// total of meta-blocking schemes, readable during ingest.
+func (c *Collection) ProbeNumBlocks() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.blocks)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// ProbeNumBlocksOf is NumBlocksOf for query goroutines: the number of live
+// blocks containing profile id, read under regMu and the shard locks. It is
+// the |B(p)| term of meta-blocking weighting schemes.
+func (c *Collection) ProbeNumBlocksOf(id int) int {
+	c.regMu.RLock()
+	syms := append([]intern.Sym(nil), c.ofProf[id]...)
+	c.regMu.RUnlock()
+	n := 0
+	for _, sym := range syms {
+		sh := c.shardOf(sym)
+		sh.mu.Lock()
+		if _, ok := sh.blocks[sym]; ok {
+			n++
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,21 @@
+package check
+
+import (
+	"testing"
+)
+
+// TestQueryOracle runs the query-vs-batch oracle over the harness datasets:
+// Clean-Clean and Dirty, several increment cuts, 25 sampled probes each.
+func TestQueryOracle(t *testing.T) {
+	for _, ds := range harnessDatasets(t) {
+		ds := ds
+		t.Run(ds.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, nIncs := range []int{1, 5} {
+				if err := QueryOracle(ds.CleanClean, ds.Increments(nIncs), 25, 42); err != nil {
+					t.Errorf("increments=%d: %v", nIncs, err)
+				}
+			}
+		})
+	}
+}

@@ -309,6 +309,29 @@ func (f *Fallible) Match(ctx context.Context, a, b *profile.Profile) (bool, erro
 	}
 }
 
+// MatchOnce is the latency-sensitive variant of Match: one attempt under the
+// per-attempt timeout, honoring the breaker, with no retry loop and no
+// backoff sleep. It is what the online query path wants — a caller waiting
+// synchronously for an answer would rather get the error now and let its own
+// admission layer decide than sleep through a backoff schedule sized for
+// background batch work. Timeout accounting and breaker transitions are
+// shared with Match: a query-side failure counts toward tripping the same
+// breaker that protects the stream.
+func (f *Fallible) MatchOnce(ctx context.Context, a, b *profile.Profile) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if !f.allow() {
+		if f.rejects != nil {
+			f.rejects.Inc()
+		}
+		return false, ErrCircuitOpen
+	}
+	ok, err := f.attempt(ctx, a, b)
+	f.report(err == nil)
+	return ok, err
+}
+
 // attempt runs one timed call of the inner matcher. The inner call runs on
 // its own goroutine so a matcher that ignores ctx still cannot stall the
 // pipeline past the timeout; its eventual result is discarded.

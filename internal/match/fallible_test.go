@@ -202,3 +202,76 @@ func TestInfallibleAdapter(t *testing.T) {
 		t.Errorf("Infallible JS on identical tokens = %v, %v; want true, nil", ok, err)
 	}
 }
+
+func TestMatchOnceSingleAttempt(t *testing.T) {
+	inner := &flaky{failures: 1}
+	f, slept, _ := newTestFallible(inner, FallibleConfig{MaxRetries: 5, BaseBackoff: time.Millisecond})
+	_, err := f.MatchOnce(context.Background(), pa, pb)
+	if err == nil || err.Error() != "transient" {
+		t.Fatalf("MatchOnce error = %v, want the transient error surfaced", err)
+	}
+	if inner.calls != 1 {
+		t.Errorf("inner calls = %d, want exactly 1 (no retry loop)", inner.calls)
+	}
+	if len(*slept) != 0 {
+		t.Errorf("MatchOnce slept %v; it must never back off", *slept)
+	}
+	// The transient failure is behind us; the next single attempt succeeds.
+	ok, err := f.MatchOnce(context.Background(), pa, pb)
+	if err != nil || !ok {
+		t.Fatalf("second MatchOnce = %v, %v; want true, nil", ok, err)
+	}
+	if inner.calls != 2 {
+		t.Errorf("inner calls = %d, want 2", inner.calls)
+	}
+}
+
+func TestMatchOnceBreakerFastFail(t *testing.T) {
+	inner := &flaky{failures: 1 << 30}
+	reg := obsv.NewRegistry()
+	f, _, now := newTestFallible(inner, FallibleConfig{
+		BreakerThreshold: 2,
+		BreakerCooldown:  50 * time.Millisecond,
+	})
+	f.Instrument(reg)
+	for i := 0; i < 2; i++ {
+		if _, err := f.MatchOnce(context.Background(), pa, pb); err == nil {
+			t.Fatal("failing matcher succeeded")
+		}
+	}
+	if f.State() != BreakerOpen {
+		t.Fatalf("breaker state = %v after threshold failures", f.State())
+	}
+	before := inner.calls
+	if _, err := f.MatchOnce(context.Background(), pa, pb); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open-breaker MatchOnce error = %v, want ErrCircuitOpen", err)
+	}
+	if inner.calls != before {
+		t.Error("open breaker still reached the backend")
+	}
+	if got := f.rejects.Value(); got != 1 {
+		t.Errorf("rejects counter = %d, want 1", got)
+	}
+	// Failure accounting is shared with Match: the cooldown elapses and a
+	// single half-open probe flows through MatchOnce as well.
+	*now = now.Add(60 * time.Millisecond)
+	if _, err := f.MatchOnce(context.Background(), pa, pb); errors.Is(err, ErrCircuitOpen) {
+		t.Error("MatchOnce did not let the half-open probe through")
+	}
+	if inner.calls != before+1 {
+		t.Errorf("half-open probe calls = %d, want %d", inner.calls, before+1)
+	}
+}
+
+func TestMatchOnceHonorsCancellation(t *testing.T) {
+	inner := &flaky{}
+	f, _, _ := newTestFallible(inner, FallibleConfig{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := f.MatchOnce(ctx, pa, pb); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled MatchOnce error = %v", err)
+	}
+	if inner.calls != 0 {
+		t.Error("cancelled MatchOnce reached the backend")
+	}
+}

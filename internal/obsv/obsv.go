@@ -102,6 +102,97 @@ func (h *Histogram) Mean() float64 {
 // Name returns the metric name.
 func (h *Histogram) Name() string { return h.name }
 
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket counts with
+// linear interpolation inside the containing bucket — the same estimator
+// Prometheus's histogram_quantile applies server-side, available here so the
+// serving path can report p50/p95/p99 without a scrape round-trip. Samples in
+// the +Inf bucket clamp to the highest finite bound. An empty histogram
+// returns 0. The estimate is a point-in-time read: concurrent Observe calls
+// may land between bucket loads, which can bias the result by at most the
+// in-flight samples — fine for monitoring, not for accounting.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	counts := make([]uint64, len(h.buckets))
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if next < rank {
+			cum = next
+			continue
+		}
+		if i == len(h.bounds) { // +Inf bucket: clamp to the largest finite bound
+			if len(h.bounds) == 0 {
+				return 0
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		upper := h.bounds[i]
+		return lower + (upper-lower)*((rank-cum)/float64(n))
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Quantiles returns the estimates for several quantiles in one call.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = h.Quantile(q)
+	}
+	return out
+}
+
+// Merge folds src's observations into h. Both histograms must have identical
+// bucket bounds (merge only makes sense between instances of the same series
+// — per-worker latency recordings folding into a global one); mismatched
+// bounds panic. Merge is safe under concurrent Observe on either histogram:
+// each bucket transfers atomically, though the merge as a whole is not a
+// snapshot — observations arriving mid-merge land in whichever side they hit.
+// Merging the same source twice double-counts; callers own that discipline.
+func (h *Histogram) Merge(src *Histogram) {
+	if len(h.bounds) != len(src.bounds) {
+		panic(fmt.Sprintf("obsv: merging histogram %q (%d buckets) into %q (%d buckets)",
+			src.name, len(src.bounds), h.name, len(h.bounds)))
+	}
+	for i, b := range h.bounds {
+		if b != src.bounds[i] {
+			panic(fmt.Sprintf("obsv: merging histogram %q into %q: bucket bound %d differs (%g vs %g)",
+				src.name, h.name, i, src.bounds[i], b))
+		}
+	}
+	for i := range src.buckets {
+		h.buckets[i].Add(src.buckets[i].Load())
+	}
+	h.count.Add(src.count.Load())
+	delta := src.Sum()
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
 // ExpBuckets returns n exponentially spaced bucket bounds starting at start
 // and growing by factor — the usual shape for latencies and sizes.
 func ExpBuckets(start, factor float64, n int) []float64 {
@@ -224,6 +315,9 @@ func (r *Registry) Snapshot() map[string]interface{} {
 				"count": m.Count(),
 				"sum":   m.Sum(),
 				"mean":  m.Mean(),
+				"p50":   m.Quantile(0.50),
+				"p95":   m.Quantile(0.95),
+				"p99":   m.Quantile(0.99),
 			}
 		}
 	})

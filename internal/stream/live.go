@@ -15,6 +15,7 @@ import (
 	"pier/internal/core"
 	"pier/internal/intern"
 	"pier/internal/match"
+	"pier/internal/metablocking"
 	"pier/internal/metrics"
 	"pier/internal/obsv"
 	"pier/internal/pool"
@@ -41,6 +42,11 @@ type LiveConfig struct {
 	MaxBlockSize int
 	// Keyer selects the blocking-key extractor; nil is token blocking.
 	Keyer blocking.Keyer
+	// Scheme is the meta-blocking weighting scheme the online Query path
+	// ranks candidates with — normally the same scheme the strategy was
+	// configured with, so query ranking matches stream prioritization. The
+	// zero value is CBS, the paper's default.
+	Scheme metablocking.Scheme
 	// Matcher classifies emitted pairs.
 	Matcher match.Matcher
 	// ContextMatcher, if set, replaces Matcher with a fallible matcher: a
@@ -192,6 +198,12 @@ type liveMetrics struct {
 	seqSec    *obsv.Histogram
 	parSec    *obsv.Histogram
 	ckptSec   *obsv.Histogram
+
+	// serving-path instruments (Live.Query)
+	queries      *obsv.Counter   // queries answered
+	queryMatches *obsv.Counter   // matched candidates across all queries
+	querySec     *obsv.Histogram // end-to-end query latency
+	queryCands   *obsv.Histogram // candidates considered per query
 }
 
 // newLiveMetrics registers the pipeline's instruments in reg. Registration is
@@ -227,6 +239,10 @@ func newLiveMetrics(reg *obsv.Registry) *liveMetrics {
 		seqSec:        reg.Histogram("pier_match_seq_seconds", "per-batch matcher service time, sequential path", serviceBuckets),
 		parSec:        reg.Histogram("pier_match_par_seconds", "per-batch matcher service time, parallel path", serviceBuckets),
 		ckptSec:       reg.Histogram("pier_checkpoint_seconds", "wall time to write one checkpoint", latBuckets),
+		queries:       reg.Counter("pier_queries_total", "online point queries answered"),
+		queryMatches:  reg.Counter("pier_query_matches_total", "matched candidates returned by online queries"),
+		querySec:      reg.Histogram("pier_query_seconds", "end-to-end online query latency", latBuckets),
+		queryCands:    reg.Histogram("pier_query_candidates", "candidate partners considered per online query", sizeBuckets),
 	}
 }
 
@@ -407,10 +423,11 @@ func (l *Live) Stats() (comparisons, matches int) {
 	return int(l.m.cmps.Value()), int(l.m.matches.Value())
 }
 
-// Err returns the first batch-voiding worker panic observed so far, as a
-// *pool.PanicError, or nil. A batch failure is not fatal — its comparisons
-// were requeued and the pipeline keeps running — but embedders may want to
-// log or alert on it.
+// Err returns the first abnormal condition observed so far, or nil: a
+// batch-voiding worker panic (as a *pool.PanicError; not fatal — the batch's
+// comparisons were requeued and the pipeline keeps running) or a Drive that
+// lost increments to a concurrent shutdown (wrapping ErrStopped). Embedders
+// may want to log or alert on it.
 func (l *Live) Err() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -891,6 +908,11 @@ func Drive(ctx context.Context, l *Live, incs [][]*profile.Profile, rate float64
 		default:
 		}
 		if err := l.Push(inc); err != nil {
+			// The stream was closed under us (a concurrent Stop or
+			// Interrupt). The remaining increments are lost — record that,
+			// or the truncated run would be indistinguishable from a clean
+			// completion through Err().
+			l.setErr(fmt.Errorf("stream: Drive: push increment %d of %d: %w", i+1, len(incs), err))
 			return l.Stop()
 		}
 		if interval > 0 && i < len(incs)-1 {

@@ -1,0 +1,252 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sort"
+	"time"
+
+	"pier/internal/blocking"
+	"pier/internal/match"
+	"pier/internal/metablocking"
+	"pier/internal/profile"
+)
+
+// This file is the online serving path: Live.Query resolves one probe
+// profile against the live blocking index from any goroutine, while the
+// pipeline goroutine keeps ingesting. The query never writes pipeline state
+// — candidates come from point-in-time posting copies (blocking's Probe*
+// accessors), the probe's tokens are looked up without interning, and
+// nothing the query does reaches the strategy, the cluster graph, the dedup
+// map, or the adaptive-K controller — so a stream run produces bit-for-bit
+// identical results whether or not queries hammer it. The one shared piece
+// is the fallible matcher's circuit breaker: queries and stream batches
+// protect the same downstream match service, so a breaker opened by either
+// side throttles both. See DESIGN.md §11.
+
+// DefaultQueryTopK is the number of top-ranked candidates a query matches
+// when QueryOptions.TopK is zero.
+const DefaultQueryTopK = 10
+
+// ErrNilProbe is returned by Query for a nil probe profile.
+var ErrNilProbe = errors.New("stream: Query with nil probe")
+
+// QueryOptions tunes one Query call.
+type QueryOptions struct {
+	// TopK bounds how many top-ranked candidates are run through the
+	// matcher. 0 means DefaultQueryTopK; negative means all candidates.
+	TopK int
+}
+
+// QueryCandidate is one ranked candidate of a query answer.
+type QueryCandidate struct {
+	// ID is the candidate's profile ID in the pipeline.
+	ID int
+	// Profile is the candidate's registered profile.
+	Profile *profile.Profile
+	// Weight is the meta-blocking scheme weight of (probe, candidate).
+	Weight float64
+	// Similarity is the matcher's similarity, when the configured matcher
+	// produces one (the fallible path reports 1 for a match, 0 otherwise).
+	Similarity float64
+	// Match reports the matcher's verdict.
+	Match bool
+	// Err is the matcher failure for this candidate, if any (timeout,
+	// open breaker, backend error). A failed candidate keeps its rank;
+	// its verdict is unknowable, not negative.
+	Err error
+}
+
+// QueryAnswer is the result of one Query call.
+type QueryAnswer struct {
+	// Candidates are the matched top-K candidates, best weight first.
+	Candidates []QueryCandidate
+	// Considered is the number of distinct co-blocked partners found
+	// before the top-K cut.
+	Considered int
+	// Elapsed is the end-to-end query latency.
+	Elapsed time.Duration
+}
+
+// probeAcc aggregates the per-shared-block statistics of one candidate
+// partner, mirroring metablocking's accumulator for the probe side.
+type probeAcc struct {
+	common int
+	arcs   float64
+}
+
+// Query resolves probe against the live index: tokenize the probe, look up
+// its posting lists, rank the co-blocked partners with the configured
+// weighting scheme, and run the matcher on the top-K. It is safe to call
+// from any goroutine, concurrently with Push and with other queries, while
+// the pipeline runs or after Stop (the quiescent index stays readable).
+//
+// The probe is never added to the index and its ID never collides with
+// pipeline profiles (use a negative ID). For Clean-Clean tasks the probe's
+// Source restricts candidates to the opposite source, like any ingested
+// profile. Matching runs on the calling goroutine: a single attempt per
+// candidate through the fallible matcher when one is configured (no retry
+// loop — the stream's requeue machinery owns retries; a query wants an
+// answer now), honoring ctx cancellation between candidates.
+func (l *Live) Query(ctx context.Context, probe *profile.Profile, opt QueryOptions) (*QueryAnswer, error) {
+	if probe == nil {
+		return nil, ErrNilProbe
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	col := l.st.col
+
+	syms := col.ProbeSyms(probe)
+	postings := col.ProbePostings(syms)
+
+	// Aggregate per-partner statistics over the probe's posting copies —
+	// shared-block count, ARCS reciprocal sum — exactly as incremental
+	// candidate generation does for an arriving profile, except partners are
+	// not restricted to smaller IDs: the probe is outside the stream, so
+	// every indexed profile is a legitimate partner.
+	partners := make(map[int]probeAcc)
+	consider := func(ids []int, inv float64) {
+		for _, id := range ids {
+			a := partners[id]
+			a.common++
+			a.arcs += inv
+			partners[id] = a
+		}
+	}
+	for i := range postings {
+		p := &postings[i]
+		inv := 1.0 / float64(maxInt(1, p.Comparisons(l.cfg.CleanClean)))
+		if l.cfg.CleanClean {
+			if probe.Source == profile.SourceA {
+				consider(p.B, inv)
+			} else {
+				consider(p.A, inv)
+			}
+		} else {
+			consider(p.A, inv)
+			consider(p.B, inv)
+		}
+	}
+
+	cands := make([]QueryCandidate, 0, len(partners))
+	bProbe := len(postings) // |B(probe)|: live blocks the probe would occupy
+	for id, a := range partners {
+		cands = append(cands, QueryCandidate{
+			ID:     id,
+			Weight: l.probeWeigh(col, bProbe, id, a),
+		})
+	}
+	// Best weight first; ties by ascending partner ID so concurrent queries
+	// for the same probe rank identically.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Weight != cands[j].Weight {
+			return cands[i].Weight > cands[j].Weight
+		}
+		return cands[i].ID < cands[j].ID
+	})
+	considered := len(cands)
+	topK := opt.TopK
+	if topK == 0 {
+		topK = DefaultQueryTopK
+	}
+	if topK > 0 && len(cands) > topK {
+		cands = cands[:topK]
+	}
+
+	// Resolve profiles and match on the calling goroutine. A candidate
+	// evicted between the posting copy and here is dropped — the answer
+	// reflects the live registry, not a stale posting.
+	out := cands[:0]
+	for i := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c := cands[i]
+		c.Profile = col.ProbeProfile(c.ID)
+		if c.Profile == nil {
+			continue
+		}
+		c.Match, c.Similarity, c.Err = l.queryMatch(ctx, probe, c.Profile)
+		if c.Match {
+			l.m.queryMatches.Inc()
+		}
+		out = append(out, c)
+	}
+
+	ans := &QueryAnswer{
+		Candidates: out,
+		Considered: considered,
+		Elapsed:    time.Since(t0),
+	}
+	l.m.queries.Inc()
+	l.m.queryCands.Observe(float64(considered))
+	l.m.querySec.Observe(ans.Elapsed.Seconds())
+	return ans, nil
+}
+
+// probeWeigh computes the configured scheme weight for (probe, partner id)
+// using only the concurrent-safe Probe* accessors — metablocking's weigh
+// reads the registry through the owner-only path and assumes a registered
+// anchor, neither of which holds for a probe. The formulas mirror
+// metablocking.Scheme exactly, with |B(probe)| = the probe's live posting
+// count.
+func (l *Live) probeWeigh(col *blocking.Collection, bProbe, id int, a probeAcc) float64 {
+	switch l.cfg.Scheme {
+	case metablocking.JSScheme:
+		by := col.ProbeNumBlocksOf(id)
+		union := bProbe + by - a.common
+		if union <= 0 {
+			return 0
+		}
+		return float64(a.common) / float64(union)
+	case metablocking.ECBS:
+		total := col.ProbeNumBlocks()
+		by := col.ProbeNumBlocksOf(id)
+		if bProbe == 0 || by == 0 || total == 0 {
+			return 0
+		}
+		return float64(a.common) * logRatio(total, bProbe) * logRatio(total, by)
+	case metablocking.ARCS:
+		return a.arcs
+	default: // CBS
+		return float64(a.common)
+	}
+}
+
+// queryMatch classifies one (probe, candidate) pair on the caller's clock: a
+// single attempt through the fallible matcher when configured — honoring its
+// timeout and circuit breaker but never its retry/backoff loop — or the
+// plain similarity matcher otherwise.
+func (l *Live) queryMatch(ctx context.Context, probe, y *profile.Profile) (ok bool, sim float64, err error) {
+	if l.cfg.ContextMatcher != nil {
+		if f, isFallible := l.cfg.ContextMatcher.(*match.Fallible); isFallible {
+			ok, err = f.MatchOnce(ctx, probe, y)
+		} else {
+			ok, err = l.cfg.ContextMatcher.Match(ctx, probe, y)
+		}
+		if err != nil {
+			return false, 0, err
+		}
+		if ok {
+			sim = 1
+		}
+		return ok, sim, nil
+	}
+	sim = l.cfg.Matcher.Similarity(probe, y)
+	return sim >= l.cfg.Matcher.Threshold, sim, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// logRatio is log(total/part) — the ECBS inverse block-frequency factor.
+func logRatio(total, part int) float64 {
+	return math.Log(float64(total) / float64(part))
+}

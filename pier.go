@@ -36,6 +36,7 @@ import (
 	"pier/internal/metablocking"
 	"pier/internal/obsv"
 	"pier/internal/profile"
+	"pier/internal/serve"
 	"pier/internal/stream"
 )
 
@@ -197,6 +198,44 @@ type Snapshot struct {
 	DedupEntries int
 }
 
+// Admission errors of the query path. Both reject fast — a rejected Query
+// returns immediately, so callers can shed load or retry elsewhere.
+var (
+	// ErrOverloaded reports that Options.MaxInFlightQueries was reached.
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrRateLimited reports that the tenant exceeded Options.QueryRate.
+	ErrRateLimited = serve.ErrRateLimited
+)
+
+// QueryCandidate is one ranked candidate of a Query answer.
+type QueryCandidate struct {
+	// Profile is the indexed profile the probe was compared against.
+	Profile Profile
+	// Weight is the meta-blocking scheme weight of (probe, candidate) —
+	// the ranking key, comparable across candidates of one query.
+	Weight float64
+	// Similarity is the matcher's similarity score, when the configured
+	// matcher produces one (a custom Matcher reports 1 for a match).
+	Similarity float64
+	// Match reports the matcher's verdict.
+	Match bool
+	// Err is the matcher failure for this candidate, if any (timeout, open
+	// circuit breaker, backend error). A failed candidate keeps its rank:
+	// its verdict is unknown, not negative.
+	Err error
+}
+
+// QueryResult is the answer to one online point query.
+type QueryResult struct {
+	// Candidates are the top-ranked candidates, best weight first.
+	Candidates []QueryCandidate
+	// Considered is the number of distinct co-blocked partners found in
+	// the index before the top-K cut.
+	Considered int
+	// Elapsed is the end-to-end query latency.
+	Elapsed time.Duration
+}
+
 // Summary reports the totals of a finished pipeline.
 type Summary struct {
 	Profiles    int
@@ -283,6 +322,21 @@ type Options struct {
 	// and canary deployments — the index checks cost O(index size) per
 	// increment.
 	CheckInvariants bool
+
+	// QueryTopK bounds how many top-ranked candidates Query runs through
+	// the matcher; 0 means the default (10), negative means all candidates.
+	QueryTopK int
+	// MaxInFlightQueries bounds concurrently admitted queries; excess
+	// queries fail fast with ErrOverloaded. 0 means the default (64),
+	// negative disables the bound.
+	MaxInFlightQueries int
+	// QueryRate enables a per-tenant token-bucket rate limit on queries, in
+	// queries per second; queries over the limit fail fast with
+	// ErrRateLimited. 0 (the default) disables rate limiting.
+	QueryRate float64
+	// QueryBurst is the per-tenant bucket capacity when QueryRate is set;
+	// 0 means max(1, QueryRate) — one second of traffic.
+	QueryBurst float64
 }
 
 // KeyerFunc derives the blocking keys of a profile. Profiles that share at
@@ -401,17 +455,26 @@ func (o Options) matcher() match.Matcher {
 	return m
 }
 
+// scheme maps the public weighting scheme to the internal one. It is shared
+// by the strategy configuration and the live config's query-side ranking, so
+// online queries rank candidates exactly as the stream prioritizes them.
+func (o Options) scheme() metablocking.Scheme {
+	switch o.Scheme {
+	case JSWeight:
+		return metablocking.JSScheme
+	case ECBS:
+		return metablocking.ECBS
+	case ARCS:
+		return metablocking.ARCS
+	default:
+		return metablocking.CBS
+	}
+}
+
 // coreConfig builds the strategy configuration from the options.
 func (o Options) coreConfig() core.Config {
 	cfg := core.DefaultConfig()
-	switch o.Scheme {
-	case JSWeight:
-		cfg.Scheme = metablocking.JSScheme
-	case ECBS:
-		cfg.Scheme = metablocking.ECBS
-	case ARCS:
-		cfg.Scheme = metablocking.ARCS
-	}
+	cfg.Scheme = o.scheme()
 	if o.Beta > 0 {
 		cfg.Beta = o.Beta
 	} else if o.Beta < 0 {

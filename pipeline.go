@@ -1,6 +1,7 @@
 package pier
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -8,6 +9,7 @@ import (
 	"pier/internal/match"
 	"pier/internal/obsv"
 	"pier/internal/profile"
+	"pier/internal/serve"
 	"pier/internal/stream"
 )
 
@@ -23,6 +25,8 @@ var ErrStopped = errors.New("pier: Push after Stop")
 type Pipeline struct {
 	mu       sync.Mutex
 	live     *stream.Live
+	gate     *serve.Gate
+	topK     int       // Query's matcher budget, from Options.QueryTopK
 	profiles []Profile // by internal ID, for reporting matches
 	nextID   int
 	stopped  bool
@@ -53,12 +57,20 @@ func build(opt Options) (*Pipeline, core.Strategy, stream.LiveConfig, error) {
 	if err != nil {
 		return nil, nil, stream.LiveConfig{}, err
 	}
-	p := &Pipeline{}
+	p := &Pipeline{
+		gate: serve.NewGate(reg, serve.Config{
+			MaxInFlight: opt.MaxInFlightQueries,
+			Rate:        opt.QueryRate,
+			Burst:       opt.QueryBurst,
+		}),
+		topK: opt.QueryTopK,
+	}
 	cfg := stream.LiveConfig{
 		CleanClean:     opt.CleanClean,
 		MaxBlockSize:   opt.maxBlockSize(),
 		Matcher:        opt.matcher(),
 		ContextMatcher: opt.contextMatcher(),
+		Scheme:         opt.scheme(),
 		TickEvery:      opt.TickEvery,
 		Parallelism:    opt.Parallelism,
 		Shards:         opt.Shards,
@@ -117,6 +129,66 @@ func (p *Pipeline) convert(pr Profile) *profile.Profile {
 		attrs[i] = profile.Attribute{Name: a.Name, Value: a.Value}
 	}
 	return &profile.Profile{ID: id, Source: src, EntityKey: pr.Key, Attributes: attrs}
+}
+
+// Query resolves one probe profile against the pipeline's live index
+// without ingesting it: the probe is tokenized, its candidates are looked up
+// in the blocking index and ranked with the configured weighting scheme, and
+// the matcher classifies the top Options.QueryTopK of them. It is safe to
+// call from any goroutine, concurrently with Push and with other queries,
+// while the pipeline runs or after Stop — a query never changes what the
+// stream will compute.
+//
+// Admission is bounded: when Options.MaxInFlightQueries are already running,
+// Query fails fast with ErrOverloaded; with Options.QueryRate set it can
+// also fail with ErrRateLimited. Query is QueryTenant with the empty tenant.
+func (p *Pipeline) Query(probe Profile) (*QueryResult, error) {
+	return p.QueryTenant(context.Background(), "", probe)
+}
+
+// QueryTenant is Query with a caller-supplied context and a tenant name for
+// per-tenant rate limiting (Options.QueryRate). The context bounds the
+// matching phase: cancellation between candidate comparisons returns the
+// context's error.
+func (p *Pipeline) QueryTenant(ctx context.Context, tenant string, probe Profile) (*QueryResult, error) {
+	release, err := p.gate.Admit(tenant)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	// The probe lives outside the pipeline's ID space: it is never
+	// registered, and the negative ID cannot collide with (or be mistaken
+	// for) an ingested profile.
+	src := profile.SourceA
+	if probe.SourceB {
+		src = profile.SourceB
+	}
+	attrs := make([]profile.Attribute, len(probe.Attributes))
+	for i, a := range probe.Attributes {
+		attrs[i] = profile.Attribute{Name: a.Name, Value: a.Value}
+	}
+	internal := &profile.Profile{ID: -1, Source: src, EntityKey: probe.Key, Attributes: attrs}
+
+	ans, err := p.live.Query(ctx, internal, stream.QueryOptions{TopK: p.topK})
+	if err != nil {
+		return nil, err
+	}
+	res := &QueryResult{
+		Candidates: make([]QueryCandidate, len(ans.Candidates)),
+		Considered: ans.Considered,
+		Elapsed:    ans.Elapsed,
+	}
+	for i, c := range ans.Candidates {
+		res.Candidates[i] = QueryCandidate{
+			Profile:    toPublicProfile(c.Profile),
+			Weight:     c.Weight,
+			Similarity: c.Similarity,
+			Match:      c.Match,
+			Err:        c.Err,
+		}
+	}
+	return res, nil
 }
 
 // Stats returns the number of comparisons executed and duplicates found so
