@@ -1,20 +1,23 @@
-// Command benchguard is the allocation-regression gate for the benchmark
+// Command benchguard is the performance-regression gate for the benchmark
 // smoke job: it reads `go test -bench ... -benchmem` output on stdin,
-// extracts allocs/op per benchmark, and compares each against a committed
-// baseline (the guard_baseline section of BENCH_intern.json). Allocations are
-// the guarded metric because they are stable across runner hardware — ns/op
-// on shared CI machines is far too noisy to gate on, but an allocs/op jump is
-// a real code change every time.
+// extracts allocs/op and ns/op per benchmark, and compares each against a
+// committed baseline (the guard_baseline and guard_ns_baseline sections of
+// BENCH_intern.json). Allocations are the primary guarded metric because they
+// are stable across runner hardware — an allocs/op jump is a real code change
+// every time. ns/op is gated too, but with a deliberately generous limit
+// (default 200% over baseline): on shared CI machines wall time is noisy, so
+// the ns gate only catches catastrophic slowdowns — an accidental O(n²), a
+// lock on the hot path — not ordinary jitter.
 //
 // Usage:
 //
 //	go test -run TestNothing -bench BenchmarkStrategyUpdateIndex -benchtime=5x -benchmem . | \
 //	    go run ./cmd/benchguard -baseline BENCH_intern.json
 //
-// The run fails (exit 1) when any guarded benchmark's allocs/op exceeds its
-// baseline by more than -max-regress (default 10%), and when a guarded
-// benchmark is missing from the input — a gate that silently stops measuring
-// is worse than no gate.
+// The run fails (exit 1) when any guarded benchmark exceeds its baseline by
+// more than -max-regress (allocs/op, default 10%) or -max-ns-regress (ns/op,
+// default 200%), and when a guarded benchmark is missing from the input — a
+// gate that silently stops measuring is worse than no gate.
 package main
 
 import (
@@ -32,12 +35,17 @@ import (
 // baselineFile is the slice of BENCH_intern.json the guard consumes; other
 // sections are recording, not gating.
 type baselineFile struct {
-	GuardBaseline map[string]float64 `json:"guard_baseline"`
+	GuardBaseline   map[string]float64 `json:"guard_baseline"`
+	GuardNsBaseline map[string]float64 `json:"guard_ns_baseline"`
 }
 
-// benchLine matches one -benchmem result line, capturing the benchmark name
+// benchAllocs matches one -benchmem result line, capturing the benchmark name
 // (with sub-benchmark path, GOMAXPROCS suffix still attached) and allocs/op.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+.*?\s(\d+)\s+allocs/op`)
+var benchAllocs = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+.*?\s(\d+)\s+allocs/op`)
+
+// benchNs matches any benchmark result line's ns/op column (present with or
+// without -benchmem).
+var benchNs = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+)\s+ns/op`)
 
 // stripProcs removes the trailing -GOMAXPROCS from a benchmark name, so
 // baselines are portable across runner core counts. It must only be applied
@@ -55,29 +63,35 @@ func stripProcs(name string) string {
 	return name
 }
 
-// parseBench scans -benchmem output, echoing every line to echo (so CI logs
-// keep the raw numbers) and collecting allocs/op per raw benchmark name.
-// When -count repeats a benchmark the worst (highest) observation wins.
-func parseBench(r io.Reader, echo io.Writer) (map[string]float64, error) {
-	got := make(map[string]float64)
+// parseBench scans benchmark output, echoing every line to echo (so CI logs
+// keep the raw numbers) and collecting allocs/op and ns/op per raw benchmark
+// name. When -count repeats a benchmark the worst (highest) observation wins.
+func parseBench(r io.Reader, echo io.Writer) (allocs, ns map[string]float64, err error) {
+	allocs = make(map[string]float64)
+	ns = make(map[string]float64)
+	worst := func(m map[string]float64, name string, v float64) {
+		if prev, ok := m[name]; !ok || v > prev {
+			m[name] = v
+		}
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Fprintln(echo, line)
-		m := benchLine.FindStringSubmatch(line)
-		if m == nil {
-			continue
+		if m := benchAllocs.FindStringSubmatch(line); m != nil {
+			v, _ := strconv.ParseFloat(m[2], 64)
+			worst(allocs, m[1], v)
 		}
-		allocs, _ := strconv.ParseFloat(m[2], 64)
-		if prev, ok := got[m[1]]; !ok || allocs > prev {
-			got[m[1]] = allocs
+		if m := benchNs.FindStringSubmatch(line); m != nil {
+			v, _ := strconv.ParseFloat(m[2], 64)
+			worst(ns, m[1], v)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return got, nil
+	return allocs, ns, nil
 }
 
 // resolveNames maps raw benchmark names onto baseline keys. A raw name that
@@ -107,9 +121,10 @@ func resolveNames(got, base map[string]float64) map[string]float64 {
 }
 
 // gate compares each guarded baseline entry against the resolved
-// observations, writing verdicts to out/errOut. It returns true when any
-// guarded benchmark regressed past maxRegress or is missing from the input.
-func gate(base, resolved map[string]float64, maxRegress float64, out, errOut io.Writer) bool {
+// observations, writing verdicts to out/errOut. unit labels the metric in
+// messages ("allocs/op" or "ns/op"). It returns true when any guarded
+// benchmark regressed past maxRegress or is missing from the input.
+func gate(base, resolved map[string]float64, maxRegress float64, unit string, out, errOut io.Writer) bool {
 	failed := false
 	for name, want := range base {
 		have, ok := resolved[name]
@@ -121,21 +136,22 @@ func gate(base, resolved map[string]float64, maxRegress float64, out, errOut io.
 		limit := want * (1 + maxRegress)
 		switch {
 		case have > limit:
-			fmt.Fprintf(errOut, "benchguard: FAIL %s: %.0f allocs/op exceeds baseline %.0f by more than %.0f%% (limit %.0f)\n",
-				name, have, want, maxRegress*100, limit)
+			fmt.Fprintf(errOut, "benchguard: FAIL %s: %.0f %s exceeds baseline %.0f by more than %.0f%% (limit %.0f)\n",
+				name, have, unit, want, maxRegress*100, limit)
 			failed = true
 		case have < want:
-			fmt.Fprintf(out, "benchguard: ok   %s: %.0f allocs/op (improved from baseline %.0f — consider re-recording)\n", name, have, want)
+			fmt.Fprintf(out, "benchguard: ok   %s: %.0f %s (improved from baseline %.0f — consider re-recording)\n", name, have, unit, want)
 		default:
-			fmt.Fprintf(out, "benchguard: ok   %s: %.0f allocs/op (baseline %.0f, limit %.0f)\n", name, have, want, limit)
+			fmt.Fprintf(out, "benchguard: ok   %s: %.0f %s (baseline %.0f, limit %.0f)\n", name, have, unit, want, limit)
 		}
 	}
 	return failed
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_intern.json", "JSON file with a guard_baseline map of benchmark name to allocs/op")
+	baselinePath := flag.String("baseline", "BENCH_intern.json", "JSON file with guard_baseline (allocs/op) and/or guard_ns_baseline (ns/op) maps")
 	maxRegress := flag.Float64("max-regress", 0.10, "maximum allowed fractional allocs/op increase over baseline")
+	maxNsRegress := flag.Float64("max-ns-regress", 2.00, "maximum allowed fractional ns/op increase over baseline (generous: wall time is noisy)")
 	flag.Parse()
 
 	raw, err := os.ReadFile(*baselinePath)
@@ -148,18 +164,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchguard: parse %s: %v\n", *baselinePath, err)
 		os.Exit(2)
 	}
-	if len(base.GuardBaseline) == 0 {
-		fmt.Fprintf(os.Stderr, "benchguard: %s has no guard_baseline entries\n", *baselinePath)
+	if len(base.GuardBaseline) == 0 && len(base.GuardNsBaseline) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %s has neither guard_baseline nor guard_ns_baseline entries\n", *baselinePath)
 		os.Exit(2)
 	}
 
-	got, err := parseBench(os.Stdin, os.Stdout)
+	allocs, ns, err := parseBench(os.Stdin, os.Stdout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: read stdin: %v\n", err)
 		os.Exit(2)
 	}
-	resolved := resolveNames(got, base.GuardBaseline)
-	if gate(base.GuardBaseline, resolved, *maxRegress, os.Stdout, os.Stderr) {
+	failed := false
+	if len(base.GuardBaseline) > 0 {
+		resolved := resolveNames(allocs, base.GuardBaseline)
+		failed = gate(base.GuardBaseline, resolved, *maxRegress, "allocs/op", os.Stdout, os.Stderr) || failed
+	}
+	if len(base.GuardNsBaseline) > 0 {
+		resolved := resolveNames(ns, base.GuardNsBaseline)
+		failed = gate(base.GuardNsBaseline, resolved, *maxNsRegress, "ns/op", os.Stdout, os.Stderr) || failed
+	}
+	if failed {
 		os.Exit(1)
 	}
 }

@@ -31,7 +31,7 @@ func TestParseBench(t *testing.T) {
 		"BenchmarkStrategyUpdateIndex/I-PCS/p1         	       5	   1100000 ns/op	  400000 B/op	    1600 allocs/op",
 		"PASS",
 	}, "\n")
-	got, err := parseBench(strings.NewReader(input), io.Discard)
+	got, ns, err := parseBench(strings.NewReader(input), io.Discard)
 	if err != nil {
 		t.Fatalf("parseBench: %v", err)
 	}
@@ -44,6 +44,32 @@ func TestParseBench(t *testing.T) {
 	// Repeated benchmark (-count): worst observation wins.
 	if got["BenchmarkStrategyUpdateIndex/I-PCS/p1"] != 1600 {
 		t.Errorf("repeated benchmark allocs = %v, want the worst (1600)", got["BenchmarkStrategyUpdateIndex/I-PCS/p1"])
+	}
+	// ns/op is captured from the same lines, worst-wins as well.
+	if ns["BenchmarkShardedUpdateIndex/shards-4"] != 1200000 {
+		t.Errorf("shards-4 ns = %v, want 1200000", ns["BenchmarkShardedUpdateIndex/shards-4"])
+	}
+	if ns["BenchmarkStrategyUpdateIndex/I-PCS/p1"] != 1100000 {
+		t.Errorf("repeated benchmark ns = %v, want the worst (1100000)", ns["BenchmarkStrategyUpdateIndex/I-PCS/p1"])
+	}
+}
+
+func TestParseBenchWithoutBenchmem(t *testing.T) {
+	// Plain -bench output (no -benchmem): ns/op still parses, allocs stays
+	// empty — the ns gate must not depend on -benchmem.
+	input := strings.Join([]string{
+		"BenchmarkCounterIncAtomic-2    	   50000	        13.80 ns/op",
+		"PASS",
+	}, "\n")
+	allocs, ns, err := parseBench(strings.NewReader(input), io.Discard)
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	if len(allocs) != 0 {
+		t.Errorf("allocs parsed from a non-benchmem line: %v", allocs)
+	}
+	if ns["BenchmarkCounterIncAtomic-2"] != 13.80 {
+		t.Errorf("ns = %v, want 13.80 (fractional ns/op must parse)", ns["BenchmarkCounterIncAtomic-2"])
 	}
 }
 
@@ -65,7 +91,7 @@ func TestResolveNamesSingleCore(t *testing.T) {
 			t.Errorf("resolved[%q] = %v, want %v (resolved map: %v)", name, resolved[name], want, resolved)
 		}
 	}
-	if gate(base, resolved, 0.10, io.Discard, io.Discard) {
+	if gate(base, resolved, 0.10, "allocs/op", io.Discard, io.Discard) {
 		t.Error("gate failed on exact-match single-core names; no benchmark should be missing")
 	}
 }
@@ -89,7 +115,7 @@ func TestResolveNamesMultiCore(t *testing.T) {
 	if resolved["BenchmarkStrategyUpdateIndex/I-PCS/p1"] != 1400 {
 		t.Errorf("p1-8 did not resolve to p1: %v", resolved)
 	}
-	if gate(base, resolved, 0.10, io.Discard, io.Discard) {
+	if gate(base, resolved, 0.10, "allocs/op", io.Discard, io.Discard) {
 		t.Error("gate failed on multi-core names within the regress limit")
 	}
 }
@@ -114,7 +140,7 @@ func TestGateRegressionAndMissing(t *testing.T) {
 	// A regressed past 10%, B is missing entirely.
 	resolved := map[string]float64{"BenchmarkA": 120}
 	var errOut strings.Builder
-	if !gate(base, resolved, 0.10, io.Discard, &errOut) {
+	if !gate(base, resolved, 0.10, "allocs/op", io.Discard, &errOut) {
 		t.Fatal("gate passed despite a regression and a missing benchmark")
 	}
 	if !strings.Contains(errOut.String(), "BenchmarkA") || !strings.Contains(errOut.String(), "BenchmarkB") {
@@ -122,7 +148,7 @@ func TestGateRegressionAndMissing(t *testing.T) {
 	}
 
 	// Within the limit: passes.
-	if gate(base, map[string]float64{"BenchmarkA": 105, "BenchmarkB": 100}, 0.10, io.Discard, io.Discard) {
+	if gate(base, map[string]float64{"BenchmarkA": 105, "BenchmarkB": 100}, 0.10, "allocs/op", io.Discard, io.Discard) {
 		t.Error("gate failed within the regress limit")
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"pier/internal/intern"
 	"pier/internal/pool"
@@ -65,6 +66,10 @@ type shard struct {
 	mu     sync.Mutex
 	blocks map[intern.Sym]*Block
 	purged map[intern.Sym]struct{}
+	// dirty logs the symbols mutated since the last PublishSnapshot, appended
+	// under mu by whichever worker owns the shard; empty (and never appended
+	// to) while the collection is not in snapshot-tracking mode.
+	dirty []intern.Sym
 }
 
 // Collection is an incrementally maintained block collection plus the
@@ -94,6 +99,14 @@ type Collection struct {
 	ofProf   map[int][]intern.Sym // profile ID -> symbols of blocks it was added to
 
 	version uint64 // bumped on every mutation, for cache invalidation
+
+	// RCU publication state (rcu.go). snapOn is set once by the owner's first
+	// PublishSnapshot and read by shard workers afterwards; the pool's fan-out
+	// synchronization orders that write before every worker read. dirtyReg is
+	// owner-only (registry mutations never run on workers).
+	snapOn   bool
+	snap     atomic.Pointer[Snap]
+	dirtyReg []int
 
 	batchSyms [][]intern.Sym // AddBatch scratch: per-profile interned symbols
 	batchKept [][]bool       // AddBatch scratch: per-token kept flags
@@ -190,6 +203,9 @@ func (c *Collection) addSym(sh *shard, p *profile.Profile, sym intern.Sym) bool 
 	if _, dead := sh.purged[sym]; dead {
 		return false
 	}
+	if c.snapOn {
+		sh.dirty = append(sh.dirty, sym)
+	}
 	b, ok := sh.blocks[sym]
 	if !ok {
 		b = &Block{Key: c.tab.StringOf(sym), Sym: sym}
@@ -236,6 +252,9 @@ func (c *Collection) Add(p *profile.Profile) int {
 	c.regMu.Lock()
 	c.ofProf[p.ID] = syms
 	c.regMu.Unlock()
+	if c.snapOn {
+		c.dirtyReg = append(c.dirtyReg, p.ID)
+	}
 	return len(toks)
 }
 
@@ -263,6 +282,9 @@ func (c *Collection) addPrepared(p *profile.Profile, syms []intern.Sym) int {
 	c.regMu.Lock()
 	c.ofProf[p.ID] = kept
 	c.regMu.Unlock()
+	if c.snapOn {
+		c.dirtyReg = append(c.dirtyReg, p.ID)
+	}
 	return len(syms)
 }
 
@@ -372,6 +394,9 @@ func (c *Collection) AddBatchPrepared(delta []*profile.Profile, symsOf [][]inter
 			}
 		}
 		c.ofProf[p.ID] = kept
+		if c.snapOn {
+			c.dirtyReg = append(c.dirtyReg, p.ID)
+		}
 	}
 	c.regMu.Unlock()
 	return total
@@ -412,8 +437,16 @@ func (c *Collection) Remove(id int) {
 			sh.mu.Unlock()
 			continue
 		}
-		b.A = removeID(b.A, id)
-		b.B = removeID(b.B, id)
+		if c.snapOn {
+			// Published snapshots alias the posting arrays: removal must
+			// replace the slice, never shift elements a pinned view can see.
+			sh.dirty = append(sh.dirty, sym)
+			b.A = removeIDCopy(b.A, id)
+			b.B = removeIDCopy(b.B, id)
+		} else {
+			b.A = removeID(b.A, id)
+			b.B = removeID(b.B, id)
+		}
 		if b.Size() == 0 {
 			delete(sh.blocks, sym)
 		}
@@ -423,6 +456,9 @@ func (c *Collection) Remove(id int) {
 	delete(c.ofProf, id)
 	delete(c.profiles, id)
 	c.regMu.Unlock()
+	if c.snapOn {
+		c.dirtyReg = append(c.dirtyReg, id)
+	}
 	c.version++
 }
 
@@ -431,6 +467,19 @@ func removeID(ids []int, id int) []int {
 	for i, v := range ids {
 		if v == id {
 			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// removeIDCopy is removeID into a fresh array, leaving the input untouched
+// for snapshot views that still alias it. A miss returns the input unchanged.
+func removeIDCopy(ids []int, id int) []int {
+	for i, v := range ids {
+		if v == id {
+			out := make([]int, 0, len(ids)-1)
+			out = append(out, ids[:i]...)
+			return append(out, ids[i+1:]...)
 		}
 	}
 	return ids

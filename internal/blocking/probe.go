@@ -5,19 +5,23 @@ import (
 	"pier/internal/profile"
 )
 
-// This file is the concurrent read path of the collection: the Probe*
-// accessors serve online point queries from arbitrary goroutines while the
-// owner goroutine keeps ingesting. Every accessor returns point-in-time
-// copies taken under regMu (registry) and the shard mutexes (posting lists),
-// so callers never alias memory the writer may touch next. The owner's own
-// accessors (BlocksOf, Profile, ...) remain lock-free and owner-only.
+// This file is the locked concurrent read path of the collection: the Probe*
+// accessors serve reads from arbitrary goroutines while the owner goroutine
+// keeps ingesting, returning point-in-time copies taken under regMu
+// (registry) and the shard mutexes (posting lists). Collections that publish
+// snapshots (rcu.go) give query goroutines a faster, lock-free Reader via
+// ProbeView; the Probe* accessors remain the always-valid fallback and the
+// contention baseline. The owner's own accessors (BlocksOf, Profile, ...)
+// remain lock-free and owner-only.
 //
 // Probe lookups never intern: a probe's tokens are resolved with the symbol
 // table's read-only lookup, so a stream of junk probes cannot grow the
 // symbol table or touch the shards' write state at all.
 
-// Posting is a point-in-time copy of one live block, safe to read after the
-// shard lock is released.
+// Posting is an immutable point-in-time image of one live block: a copy when
+// produced by the locked accessors, a frozen-length view of the live arrays
+// when produced by a published snapshot. Either way it is safe to read
+// without synchronization and must never be modified.
 type Posting struct {
 	// Sym is the block's interned symbol.
 	Sym intern.Sym

@@ -1,0 +1,357 @@
+package blocking
+
+import (
+	"pier/internal/intern"
+	"pier/internal/profile"
+)
+
+// This file is the RCU-style publication layer of the collection: the owner
+// goroutine batches an increment's mutations (which still synchronize on the
+// shard mutexes internally) and then publishes one immutable Snap covering
+// the whole collection — posting lists, registry, block count, version — with
+// a single atomic pointer swap. Query goroutines pin a Snap once and read it
+// without any locks for the rest of their execution; retired snapshots are
+// reclaimed by the Go GC once the last reader drops them, so no epochs,
+// hazard pointers, or reader registration are needed. See DESIGN.md §12 for
+// the protocol and its memory-ordering argument.
+//
+// Publication is incremental: writers record which symbols and profile IDs
+// they touched since the last publish, and PublishSnapshot clones only the
+// chunks of the persistent arrays that contain dirty entries. Everything else
+// is shared structurally with the previous snapshot.
+
+const (
+	postChunkBits = 6
+	postChunkSize = 1 << postChunkBits // symbols per posting chunk
+	regChunkBits  = 8
+	regChunkSize  = 1 << regChunkBits // profile IDs per registry chunk
+	// maxDenseID bounds the dense registry array: IDs in [0, maxDenseID) live
+	// in chunked arrays indexed directly by ID; negative or pathologically
+	// large IDs fall back to the overflow map so a single hostile ID cannot
+	// force a multi-gigabyte pointer table.
+	maxDenseID = 1 << 22
+)
+
+// postChunk is one immutable block of the published posting array. A nil
+// element means the symbol has no live block in this snapshot.
+type postChunk [postChunkSize]*Posting
+
+// regEntry is one published registry row: the profile and the symbols of the
+// blocks it was added to (dead blocks are filtered at read time, exactly like
+// the owner's NumBlocksOf).
+type regEntry struct {
+	p    *profile.Profile
+	syms []intern.Sym
+}
+
+// regChunk is one immutable block of the published registry array.
+type regChunk [regChunkSize]regEntry
+
+// Snap is one published, immutable read view of the collection. All methods
+// are safe for concurrent use from any number of goroutines with zero
+// synchronization; the postings it returns alias the live posting arrays in a
+// frozen-length window that the writer never rewrites (appends land beyond
+// the frozen length, removals copy — see Remove).
+type Snap struct {
+	version   uint64
+	numBlocks int
+	posts     []*postChunk
+	regs      []*regChunk
+	xreg      map[int]regEntry // overflow for negative / non-dense profile IDs
+}
+
+// Reader is the query-side read interface of a collection: everything
+// Live.Query needs to weigh and resolve candidates against one consistent
+// view. Two implementations exist: *Snap (the published lock-free view) and
+// the locked per-call reader (pre-publication behavior, also the measured
+// baseline of cmd/pierscale).
+type Reader interface {
+	// AppendPostings appends the live postings of the given symbols to buf,
+	// skipping symbols with no live block, and returns the extended slice.
+	AppendPostings(buf []*Posting, syms []intern.Sym) []*Posting
+	// NumBlocks returns the number of live blocks (the |B| term of ECBS).
+	NumBlocks() int
+	// NumBlocksOf returns the number of live blocks containing profile id
+	// (the |B(p)| term of meta-blocking schemes); 0 for unknown IDs.
+	NumBlocksOf(id int) int
+	// Profile returns the registered profile with the given ID, or nil.
+	Profile(id int) *profile.Profile
+}
+
+// Version returns the collection version this snapshot was published at.
+func (s *Snap) Version() uint64 { return s.version }
+
+// NumBlocks returns the number of live blocks in the snapshot.
+func (s *Snap) NumBlocks() int { return s.numBlocks }
+
+// PostingOf returns the snapshot's posting for sym, or nil if the symbol has
+// no live block in this view.
+func (s *Snap) PostingOf(sym intern.Sym) *Posting {
+	ci := int(sym) >> postChunkBits
+	if ci >= len(s.posts) || s.posts[ci] == nil {
+		return nil
+	}
+	return s.posts[ci][int(sym)&(postChunkSize-1)]
+}
+
+// AppendPostings implements Reader over the published chunks: no locks, no
+// copies — the returned postings are immutable views shared with the
+// snapshot.
+func (s *Snap) AppendPostings(buf []*Posting, syms []intern.Sym) []*Posting {
+	for _, sym := range syms {
+		if p := s.PostingOf(sym); p != nil {
+			buf = append(buf, p)
+		}
+	}
+	return buf
+}
+
+// regOf returns the published registry row for id (zero row if unknown).
+func (s *Snap) regOf(id int) regEntry {
+	if id >= 0 && id < maxDenseID {
+		ci := id >> regChunkBits
+		if ci >= len(s.regs) || s.regs[ci] == nil {
+			return regEntry{}
+		}
+		return s.regs[ci][id&(regChunkSize-1)]
+	}
+	return s.xreg[id]
+}
+
+// Profile implements Reader from the published registry.
+func (s *Snap) Profile(id int) *profile.Profile { return s.regOf(id).p }
+
+// NumBlocksOf implements Reader: live blocks containing id, counted against
+// this snapshot's posting view (a block purged before publication counts as
+// dead for every profile listing it, mirroring the owner's NumBlocksOf).
+func (s *Snap) NumBlocksOf(id int) int {
+	n := 0
+	for _, sym := range s.regOf(id).syms {
+		if s.PostingOf(sym) != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// lockedReader is the pre-publication read path: every call copies under
+// regMu and the shard mutexes. It serves collections that never published a
+// snapshot and is the contention baseline cmd/pierscale measures the
+// lock-free path against.
+type lockedReader struct{ c *Collection }
+
+func (r lockedReader) AppendPostings(buf []*Posting, syms []intern.Sym) []*Posting {
+	for _, sym := range syms {
+		sh := r.c.shardOf(sym)
+		sh.mu.Lock()
+		if b, ok := sh.blocks[sym]; ok {
+			buf = append(buf, &Posting{
+				Sym: sym,
+				Key: b.Key,
+				A:   append([]int(nil), b.A...),
+				B:   append([]int(nil), b.B...),
+			})
+		}
+		sh.mu.Unlock()
+	}
+	return buf
+}
+
+func (r lockedReader) NumBlocks() int                  { return r.c.ProbeNumBlocks() }
+func (r lockedReader) NumBlocksOf(id int) int          { return r.c.ProbeNumBlocksOf(id) }
+func (r lockedReader) Profile(id int) *profile.Profile { return r.c.ProbeProfile(id) }
+
+// LockedReader returns the mutex-guarded per-call Reader. It is always valid,
+// published snapshot or not.
+func (c *Collection) LockedReader() Reader { return lockedReader{c} }
+
+// PublishedSnap returns the most recently published snapshot, or nil if the
+// collection has never published one. Safe from any goroutine.
+func (c *Collection) PublishedSnap() *Snap { return c.snap.Load() }
+
+// ProbeView returns the best available Reader for a query goroutine: the
+// published lock-free snapshot when one exists, the locked per-call reader
+// otherwise. Callers pin the returned Reader for their whole query so every
+// lookup — postings, weights, profiles — observes one consistent version.
+func (c *Collection) ProbeView() Reader {
+	if s := c.snap.Load(); s != nil {
+		return s
+	}
+	return lockedReader{c}
+}
+
+// PublishSnapshot builds and atomically publishes an immutable snapshot of
+// the current collection state. It must be called by the owner goroutine at a
+// quiescent point (no AddBatch fan-out in flight) — typically once per
+// ingested increment. The first call switches the collection into
+// snapshot-tracking mode: from then on writers record dirty symbols/IDs and
+// removals copy posting lists instead of editing them in place, so published
+// views stay frozen. Collections that never call PublishSnapshot pay nothing.
+func (c *Collection) PublishSnapshot() {
+	if !c.snapOn {
+		c.snapOn = true
+		c.snap.Store(c.buildFullSnap())
+		return
+	}
+	c.snap.Store(c.buildIncrementalSnap(c.snap.Load()))
+}
+
+// postView freezes the current live block of sym into an immutable posting
+// view, or nil if the block is missing or purged. The member slices alias the
+// live arrays with length and capacity pinned: the writer only ever appends
+// beyond the pinned length or replaces the whole slice (CoW removal), so the
+// window the view exposes is immutable.
+func (c *Collection) postView(sym intern.Sym) *Posting {
+	b, ok := c.shardOf(sym).blocks[sym]
+	if !ok {
+		return nil
+	}
+	return &Posting{
+		Sym: sym,
+		Key: b.Key,
+		A:   b.A[:len(b.A):len(b.A)],
+		B:   b.B[:len(b.B):len(b.B)],
+	}
+}
+
+// regView freezes the current registry row of id (zero row if unregistered).
+// ofProf slices are written once at registration and never edited in place,
+// so aliasing them is safe.
+func (c *Collection) regView(id int) regEntry {
+	p, ok := c.profiles[id]
+	if !ok {
+		return regEntry{}
+	}
+	return regEntry{p: p, syms: c.ofProf[id]}
+}
+
+// buildFullSnap walks the whole collection. Used once, at the first publish.
+func (c *Collection) buildFullSnap() *Snap {
+	s := &Snap{version: c.version}
+	nSyms := c.tab.Len()
+	s.posts = make([]*postChunk, (nSyms+postChunkSize-1)>>postChunkBits)
+	for si := range c.shards {
+		for sym := range c.shards[si].blocks {
+			ci := int(sym) >> postChunkBits
+			if s.posts[ci] == nil {
+				s.posts[ci] = new(postChunk)
+			}
+			s.posts[ci][int(sym)&(postChunkSize-1)] = c.postView(sym)
+			s.numBlocks++
+		}
+	}
+	for id := range c.profiles {
+		if id >= 0 && id < maxDenseID {
+			ci := id >> regChunkBits
+			if ci >= len(s.regs) {
+				grown := make([]*regChunk, ci+1)
+				copy(grown, s.regs)
+				s.regs = grown
+			}
+			if s.regs[ci] == nil {
+				s.regs[ci] = new(regChunk)
+			}
+			s.regs[ci][id&(regChunkSize-1)] = c.regView(id)
+		} else {
+			if s.xreg == nil {
+				s.xreg = make(map[int]regEntry)
+			}
+			s.xreg[id] = c.regView(id)
+		}
+	}
+	return s
+}
+
+// buildIncrementalSnap clones prev's chunk pointer tables and rebuilds only
+// the chunks containing entries dirtied since the last publish, consuming the
+// dirty logs. Cost is proportional to the increment, not the collection.
+func (c *Collection) buildIncrementalSnap(prev *Snap) *Snap {
+	s := &Snap{version: c.version, numBlocks: prev.numBlocks}
+
+	nChunks := (c.tab.Len() + postChunkSize - 1) >> postChunkBits
+	if nChunks < len(prev.posts) {
+		nChunks = len(prev.posts)
+	}
+	s.posts = make([]*postChunk, nChunks)
+	copy(s.posts, prev.posts)
+	cloned := make(map[int]struct{})
+	seen := make(map[intern.Sym]struct{})
+	for si := range c.shards {
+		sh := &c.shards[si]
+		for _, sym := range sh.dirty {
+			if _, dup := seen[sym]; dup {
+				continue
+			}
+			seen[sym] = struct{}{}
+			ci := int(sym) >> postChunkBits
+			if _, ok := cloned[ci]; !ok {
+				nc := new(postChunk)
+				if ci < len(prev.posts) && prev.posts[ci] != nil {
+					*nc = *prev.posts[ci]
+				}
+				s.posts[ci] = nc
+				cloned[ci] = struct{}{}
+			}
+			slot := int(sym) & (postChunkSize - 1)
+			old := s.posts[ci][slot]
+			now := c.postView(sym)
+			s.posts[ci][slot] = now
+			if old == nil && now != nil {
+				s.numBlocks++
+			} else if old != nil && now == nil {
+				s.numBlocks--
+			}
+		}
+		sh.dirty = sh.dirty[:0]
+	}
+
+	s.regs = prev.regs
+	s.xreg = prev.xreg
+	regCloned := make(map[int]struct{})
+	var xdirty []int
+	for _, id := range c.dirtyReg {
+		if id < 0 || id >= maxDenseID {
+			xdirty = append(xdirty, id)
+			continue
+		}
+		ci := id >> regChunkBits
+		if _, ok := regCloned[ci]; !ok {
+			if len(regCloned) == 0 {
+				// First dense dirty ID: detach the pointer table from prev.
+				grown := ci + 1
+				if grown < len(prev.regs) {
+					grown = len(prev.regs)
+				}
+				s.regs = make([]*regChunk, grown)
+				copy(s.regs, prev.regs)
+			} else if ci >= len(s.regs) {
+				grown := make([]*regChunk, ci+1)
+				copy(grown, s.regs)
+				s.regs = grown
+			}
+			nc := new(regChunk)
+			if ci < len(prev.regs) && prev.regs[ci] != nil {
+				*nc = *prev.regs[ci]
+			}
+			s.regs[ci] = nc
+			regCloned[ci] = struct{}{}
+		}
+		s.regs[ci][id&(regChunkSize-1)] = c.regView(id)
+	}
+	if len(xdirty) > 0 {
+		xr := make(map[int]regEntry, len(prev.xreg)+len(xdirty))
+		for id, e := range prev.xreg {
+			xr[id] = e
+		}
+		for _, id := range xdirty {
+			if e := c.regView(id); e.p != nil {
+				xr[id] = e
+			} else {
+				delete(xr, id)
+			}
+		}
+		s.xreg = xr
+	}
+	c.dirtyReg = c.dirtyReg[:0]
+	return s
+}

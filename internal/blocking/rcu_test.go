@@ -1,0 +1,273 @@
+package blocking
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pier/internal/intern"
+	"pier/internal/pool"
+	"pier/internal/profile"
+)
+
+// randomIncrement builds n profiles drawing tokens from a small zipf-ish
+// vocabulary so blocks overlap heavily (the interesting case for snapshots).
+func randomIncrement(rng *rand.Rand, firstID, n int) []*profile.Profile {
+	out := make([]*profile.Profile, n)
+	for i := range out {
+		src := profile.SourceA
+		if rng.Intn(2) == 1 {
+			src = profile.SourceB
+		}
+		toks := ""
+		for k := 0; k < 2+rng.Intn(4); k++ {
+			// Quadratic skew: low word indices dominate, like real vocab.
+			w := rng.Intn(40)
+			toks += fmt.Sprintf("w%d ", w*w/40)
+		}
+		out[i] = mk(firstID+i, src, toks)
+	}
+	return out
+}
+
+// assertSnapEqualsLocked cross-checks the published snapshot against the
+// locked reader over every symbol ever interned and every ID in ids.
+func assertSnapEqualsLocked(t *testing.T, c *Collection, ids []int) {
+	t.Helper()
+	s := c.PublishedSnap()
+	if s == nil {
+		t.Fatal("no published snapshot")
+	}
+	locked := c.LockedReader()
+	if got, want := s.NumBlocks(), locked.NumBlocks(); got != want {
+		t.Fatalf("snapshot NumBlocks = %d, locked = %d", got, want)
+	}
+	if got, want := s.Version(), c.Version(); got != want {
+		t.Fatalf("snapshot Version = %d, collection = %d", got, want)
+	}
+	for sym := intern.Sym(0); int(sym) < c.Interner().Len(); sym++ {
+		want := locked.AppendPostings(nil, []intern.Sym{sym})
+		got := s.AppendPostings(nil, []intern.Sym{sym})
+		if len(got) != len(want) {
+			t.Fatalf("sym %d (%q): snapshot has %d postings, locked %d",
+				sym, c.Interner().StringOf(sym), len(got), len(want))
+		}
+		if len(got) == 0 {
+			continue
+		}
+		g, w := got[0], want[0]
+		if g.Key != w.Key || len(g.A) != len(w.A) || len(g.B) != len(w.B) {
+			t.Fatalf("sym %d: snapshot posting %q A=%d B=%d, locked %q A=%d B=%d",
+				sym, g.Key, len(g.A), len(g.B), w.Key, len(w.A), len(w.B))
+		}
+		for i := range g.A {
+			if g.A[i] != w.A[i] {
+				t.Fatalf("sym %d: A[%d] = %d, locked %d", sym, i, g.A[i], w.A[i])
+			}
+		}
+		for i := range g.B {
+			if g.B[i] != w.B[i] {
+				t.Fatalf("sym %d: B[%d] = %d, locked %d", sym, i, g.B[i], w.B[i])
+			}
+		}
+	}
+	for _, id := range ids {
+		if got, want := s.Profile(id), locked.Profile(id); got != want {
+			t.Fatalf("profile %d: snapshot %v, locked %v", id, got, want)
+		}
+		if got, want := s.NumBlocksOf(id), locked.NumBlocksOf(id); got != want {
+			t.Fatalf("NumBlocksOf(%d): snapshot %d, locked %d", id, got, want)
+		}
+	}
+}
+
+// TestSnapshotMatchesLockedReader drives a mixed Add/AddBatch/Remove/purge
+// workload and asserts after every publish that the lock-free view is
+// indistinguishable from the locked one.
+func TestSnapshotMatchesLockedReader(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := NewCollectionSharded(false, 6, nil, 4)
+	workers := pool.New(4)
+	c.PublishSnapshot() // empty snapshot; enables tracking
+	var ids []int
+	next := 0
+	for round := 0; round < 8; round++ {
+		inc := randomIncrement(rng, next, 30)
+		next += len(inc)
+		if round%2 == 0 {
+			c.AddBatch(inc, workers)
+		} else {
+			for _, p := range inc {
+				c.Add(p)
+			}
+		}
+		for _, p := range inc {
+			ids = append(ids, p.ID)
+		}
+		// Evict a few of the oldest, like the stream's window does.
+		for k := 0; k < 5 && len(ids) > 40; k++ {
+			c.Remove(ids[0])
+			ids = ids[1:]
+		}
+		c.PublishSnapshot()
+		assertSnapEqualsLocked(t, c, ids)
+	}
+}
+
+// TestSnapshotImmutable pins a snapshot, mutates the collection heavily, and
+// asserts the pinned view still reads exactly what it read at publish time —
+// the frozen-window guarantee behind the no-torn-read contract.
+func TestSnapshotImmutable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := NewCollectionSharded(false, 0, nil, 4)
+	inc := randomIncrement(rng, 0, 50)
+	c.AddBatch(inc, pool.New(2))
+	c.PublishSnapshot()
+	pinned := c.PublishedSnap()
+
+	type frozen struct {
+		a, b []int
+	}
+	before := make(map[intern.Sym]frozen)
+	for sym := intern.Sym(0); int(sym) < c.Interner().Len(); sym++ {
+		if p := pinned.PostingOf(sym); p != nil {
+			before[sym] = frozen{a: append([]int(nil), p.A...), b: append([]int(nil), p.B...)}
+		}
+	}
+	nb := pinned.NumBlocks()
+
+	// Mutate: more members in existing blocks, removals of pinned members.
+	c.AddBatch(randomIncrement(rng, 1000, 50), pool.New(2))
+	for id := 0; id < 25; id++ {
+		c.Remove(id)
+	}
+	c.PublishSnapshot()
+
+	if pinned.NumBlocks() != nb {
+		t.Fatalf("pinned NumBlocks changed: %d -> %d", nb, pinned.NumBlocks())
+	}
+	for sym, want := range before {
+		p := pinned.PostingOf(sym)
+		if p == nil {
+			t.Fatalf("sym %d vanished from pinned snapshot", sym)
+		}
+		if len(p.A) != len(want.a) || len(p.B) != len(want.b) {
+			t.Fatalf("sym %d: pinned posting resized A=%d->%d B=%d->%d",
+				sym, len(want.a), len(p.A), len(want.b), len(p.B))
+		}
+		for i := range want.a {
+			if p.A[i] != want.a[i] {
+				t.Fatalf("sym %d: pinned A[%d] changed %d -> %d", sym, i, want.a[i], p.A[i])
+			}
+		}
+		for i := range want.b {
+			if p.B[i] != want.b[i] {
+				t.Fatalf("sym %d: pinned B[%d] changed %d -> %d", sym, i, want.b[i], p.B[i])
+			}
+		}
+	}
+	// The new snapshot, by contrast, must reflect the removals.
+	if cur := c.PublishedSnap(); cur.Profile(0) != nil {
+		t.Fatal("current snapshot still registers removed profile 0")
+	}
+}
+
+// TestSnapshotPurgeVisible publishes across a purge boundary: a block that
+// overflows maxBlockSize must be live in the snapshot taken before the purge
+// and dead in the one taken after.
+func TestSnapshotPurgeVisible(t *testing.T) {
+	c := NewCollection(false, 3)
+	for id := 0; id < 3; id++ {
+		c.Add(mk(id, profile.SourceA, "hot"))
+	}
+	c.PublishSnapshot()
+	sym, ok := c.Interner().Sym("hot")
+	if !ok {
+		t.Fatal("token not interned")
+	}
+	snap1 := c.PublishedSnap()
+	if p := snap1.PostingOf(sym); p == nil || len(p.A) != 3 {
+		t.Fatalf("pre-purge snapshot: posting = %+v, want 3 members", p)
+	}
+	c.Add(mk(3, profile.SourceA, "hot")) // overflows: block purged
+	c.PublishSnapshot()
+	if p := c.PublishedSnap().PostingOf(sym); p != nil {
+		t.Fatalf("post-purge snapshot still has posting %+v", p)
+	}
+	if got := c.PublishedSnap().NumBlocksOf(0); got != 0 {
+		t.Fatalf("NumBlocksOf(0) = %d after its only block purged", got)
+	}
+	// The pinned pre-purge view is untouched.
+	if p := snap1.PostingOf(sym); p == nil || len(p.A) != 3 {
+		t.Fatalf("pinned pre-purge snapshot corrupted: %+v", p)
+	}
+}
+
+// TestSnapshotConcurrentReaders exercises the aliasing contract under the
+// race detector: reader goroutines continuously pin the latest snapshot and
+// walk every posting while the owner keeps batching, removing, and
+// publishing. Any write into a frozen window is a race report.
+func TestSnapshotConcurrentReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	c := NewCollectionSharded(false, 8, nil, 4)
+	workers := pool.New(4)
+	c.AddBatch(randomIncrement(rng, 0, 40), workers)
+	c.PublishSnapshot()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := c.PublishedSnap()
+				sum := 0
+				for sym := intern.Sym(0); int(sym) < 64; sym++ {
+					if p := s.PostingOf(sym); p != nil {
+						for _, id := range p.A {
+							sum += id
+						}
+						for _, id := range p.B {
+							sum += id
+						}
+						sum += s.NumBlocksOf(p.firstMember())
+					}
+				}
+				if sum < 0 {
+					t.Error("impossible negative id sum")
+					return
+				}
+			}
+		}()
+	}
+	next := 1000
+	for round := 0; round < 50; round++ {
+		c.AddBatch(randomIncrement(rng, next, 20), workers)
+		for k := 0; k < 10; k++ {
+			c.Remove(next - 1000 + k)
+		}
+		next += 20
+		c.PublishSnapshot()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// firstMember returns an arbitrary member ID of the posting (test helper for
+// exercising NumBlocksOf against live IDs).
+func (p *Posting) firstMember() int {
+	if len(p.A) > 0 {
+		return p.A[0]
+	}
+	if len(p.B) > 0 {
+		return p.B[0]
+	}
+	return -1
+}

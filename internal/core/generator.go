@@ -41,11 +41,14 @@ type genScratch struct {
 // Per-profile candidate generation is independent by construction — the
 // smaller-ID rule in metablocking.Candidates generates every unordered pair
 // exactly once, from the later profile, against collection state that already
-// contains the whole increment — so candidates splits the increment into one
-// contiguous chunk per worker (each with its own scratch) and concatenates
-// the chunk outputs in order. The merged list is bit-for-bit identical to the
-// serial one, keeping every strategy's index state independent of
-// Config.Parallelism.
+// contains the whole increment — so candidates fans the profiles out over the
+// pool's dynamic scheduler: workers pull profile indices from a shared atomic
+// counter, append each profile's pruned comparisons to their own scratch, and
+// record the (worker, offset, length) run per profile index. The merge walks
+// profile indices in order and concatenates the recorded runs, so the output
+// is bit-for-bit identical to the serial one for every Config.Parallelism —
+// while zipf-skewed profiles (one hot profile with huge blocks next to many
+// cold ones) no longer serialize on whichever static chunk they landed in.
 type generator struct {
 	cfg  Config
 	pool *pool.Pool
@@ -68,6 +71,7 @@ type generator struct {
 	weigher metablocking.Weigher
 
 	scratches []genScratch              // one per worker slot; [0] serves the serial path
+	runs      []profRun                 // per-profile output runs of the last fan-out
 	merged    []metablocking.Comparison // reused fan-out merge buffer
 	fbBuf     []metablocking.Comparison // reused fallback-scan output buffer
 
@@ -129,13 +133,31 @@ func (g *generator) perProfile(sc *genScratch, col *blocking.Collection, p *prof
 	sc.out = append(sc.out, metablocking.IWNP(cands)...)
 }
 
+// profRun locates one profile's pruned comparisons inside its worker's
+// scratch output: worker w produced run [off, off+n) of scs[w].out for the
+// profile. Recorded during the fan-out, consumed by the in-order merge.
+type profRun struct {
+	w, off, n int32
+}
+
+// runsFor returns the per-profile run table for n profiles, grown as needed.
+func (g *generator) runsFor(n int) []profRun {
+	if cap(g.runs) < n {
+		g.runs = make([]profRun, n)
+	}
+	g.runs = g.runs[:n]
+	return g.runs
+}
+
 // candidates runs lines 1–9 of Algorithm 2 over the increment: block
 // ghosting with β, candidate generation against earlier profiles, and I-WNP
 // pruning. It returns the weighted comparison list and the modeled cost.
-// Large increments are split into one contiguous chunk per pool worker;
-// chunk outputs are concatenated in chunk order, so the output is identical
-// for every Config.Parallelism setting. The returned slice is owned by the
-// generator and valid until its next call; strategies consume it immediately.
+// Large increments fan out over the pool's dynamic scheduler (workers pull
+// profile indices from a shared counter — skew-proof under zipf block-size
+// distributions); outputs are merged in profile order, so the result is
+// identical for every Config.Parallelism setting. The returned slice is owned
+// by the generator and valid until its next call; strategies consume it
+// immediately.
 func (g *generator) candidates(col *blocking.Collection, delta []*profile.Profile) ([]metablocking.Comparison, time.Duration) {
 	if len(delta) == 0 {
 		return nil, 0
@@ -163,34 +185,27 @@ func (g *generator) candidates(col *blocking.Collection, delta []*profile.Profil
 	} else {
 		// Fan out: the per-profile work only reads the collection (the
 		// whole increment is already blocked before UpdateIndex runs), so
-		// concurrent chunks never race; each chunk writes only its own
-		// scratch and the single-writer merge below is the only mutation.
-		chunk := (len(delta) + workers - 1) / workers
-		g.pool.ForEach(workers, func(w int) {
+		// concurrent tasks never race; each task writes only its worker's
+		// scratch and its own run slot, and the single-writer merge below
+		// is the only other mutation.
+		runs := g.runsFor(len(delta))
+		g.pool.ForEachWorker(len(delta), func(w, i int) {
 			sc := &scs[w]
-			lo := w * chunk
-			if lo > len(delta) {
-				lo = len(delta)
-			}
-			hi := lo + chunk
-			if hi > len(delta) {
-				hi = len(delta)
-			}
-			for _, p := range delta[lo:hi] {
-				g.perProfile(sc, col, p)
-			}
+			off := len(sc.out)
+			g.perProfile(sc, col, delta[i])
+			runs[i] = profRun{w: int32(w), off: int32(off), n: int32(len(sc.out) - off)}
 		})
 		total := 0
 		for i := range scs {
 			total += len(scs[i].out)
+			cost += scs[i].cost
 		}
 		merged := g.merged[:0]
 		if cap(merged) < total {
 			merged = make([]metablocking.Comparison, 0, total)
 		}
-		for i := range scs {
-			merged = append(merged, scs[i].out...)
-			cost += scs[i].cost
+		for _, r := range runs {
+			merged = append(merged, scs[r.w].out[r.off:r.off+r.n]...)
 		}
 		g.merged = merged
 		out = merged

@@ -1,0 +1,157 @@
+package obsv
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The pipeline's hot-path instruments (counter Inc per task, gauge Add per
+// worker transition, histogram Observe per batch) have been lock-free atomics
+// since the registry was introduced. These benchmarks pin that choice against
+// the mutex-guarded alternative they replaced conceptually: run with
+// -cpu 1,2,4 to see the contended delta — under parallelism the mutex
+// versions serialize every instrument update through one cache line AND one
+// lock word, while the atomic versions are a single lock-free RMW.
+
+// mutexCounter is the reference implementation the atomic Counter is measured
+// against. It is test-only; nothing in the pipeline uses it.
+type mutexCounter struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+func (c *mutexCounter) Inc() {
+	c.mu.Lock()
+	c.v++
+	c.mu.Unlock()
+}
+
+func (c *mutexCounter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// mutexGauge is the mutex reference for Gauge.
+type mutexGauge struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (g *mutexGauge) Add(d int64) {
+	g.mu.Lock()
+	g.v += d
+	g.mu.Unlock()
+}
+
+// mutexHistogram is the mutex reference for Histogram.Observe with the same
+// bucket layout.
+type mutexHistogram struct {
+	mu      sync.Mutex
+	bounds  []float64
+	buckets []uint64
+	count   uint64
+	sum     float64
+}
+
+func (h *mutexHistogram) Observe(v float64) {
+	h.mu.Lock()
+	i := 0
+	for i < len(h.bounds) && h.bounds[i] < v {
+		i++
+	}
+	h.buckets[i]++
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+func BenchmarkCounterIncAtomic(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Value() != uint64(b.N) {
+		b.Fatalf("count %d, want %d", c.Value(), b.N)
+	}
+}
+
+func BenchmarkCounterIncMutex(b *testing.B) {
+	var c mutexCounter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Value() != uint64(b.N) {
+		b.Fatalf("count %d, want %d", c.Value(), b.N)
+	}
+}
+
+func BenchmarkGaugeAddAtomic(b *testing.B) {
+	var g Gauge
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			g.Add(1)
+			g.Add(-1)
+		}
+	})
+}
+
+func BenchmarkGaugeAddMutex(b *testing.B) {
+	var g mutexGauge
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			g.Add(1)
+			g.Add(-1)
+		}
+	})
+}
+
+func BenchmarkHistogramObserveAtomic(b *testing.B) {
+	h := &Histogram{bounds: ExpBuckets(1e-6, 10, 8)}
+	h.buckets = make([]atomic.Uint64, len(h.bounds)+1)
+	b.RunParallel(func(pb *testing.PB) {
+		v := 1e-4
+		for pb.Next() {
+			h.Observe(v)
+		}
+	})
+}
+
+func BenchmarkHistogramObserveMutex(b *testing.B) {
+	bounds := ExpBuckets(1e-6, 10, 8)
+	h := &mutexHistogram{bounds: bounds, buckets: make([]uint64, len(bounds)+1)}
+	b.RunParallel(func(pb *testing.PB) {
+		v := 1e-4
+		for pb.Next() {
+			h.Observe(v)
+		}
+	})
+}
+
+// BenchmarkCounterReadWhileWritten measures the read side under concurrent
+// writes — the Snapshot/exposition path running against a live pipeline.
+func BenchmarkCounterReadWhileWritten(b *testing.B) {
+	var c Counter
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				c.Inc()
+			}
+		}
+	}()
+	defer close(stop)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += c.Value()
+	}
+	_ = sink
+}

@@ -95,6 +95,19 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	}
 }
 
+// ForEachWorker is ForEach for callers that accumulate into per-worker
+// scratch: fn(w, i) runs task i on worker w, where w < min(Workers(), n) is
+// stable for the lifetime of one call. Tasks are still pulled dynamically
+// from the shared counter — the assignment of indices to workers is
+// load-balanced and nondeterministic — so callers needing deterministic
+// output must record (worker, position) per index-addressed result and merge
+// in index order, never in worker order. Serial pools run inline with w == 0.
+func (p *Pool) ForEachWorker(n int, fn func(w, i int)) {
+	if err := p.TryForEachWorker(n, fn); err != nil {
+		panic(err.(*PanicError).Value)
+	}
+}
+
 // TryForEach is ForEach with panic isolation: a panic inside fn is recovered
 // in the worker that hit it, captured with its stack, and returned as a
 // *PanicError after every in-flight task has finished. Remaining undispatched
@@ -104,6 +117,12 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 // which indices ran. If several in-flight tasks panic, the lowest-indexed one
 // is reported.
 func (p *Pool) TryForEach(n int, fn func(i int)) error {
+	return p.TryForEachWorker(n, func(_, i int) { fn(i) })
+}
+
+// TryForEachWorker is ForEachWorker with TryForEach's panic isolation and
+// error contract.
+func (p *Pool) TryForEachWorker(n int, fn func(w, i int)) error {
 	if n <= 0 {
 		return nil
 	}
@@ -113,7 +132,7 @@ func (p *Pool) TryForEach(n int, fn func(i int)) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := p.run(i, fn); err != nil {
+			if err := p.run(0, i, fn); err != nil {
 				return err
 			}
 		}
@@ -126,7 +145,7 @@ func (p *Pool) TryForEach(n int, fn func(i int)) error {
 	var failed atomic.Bool
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				if failed.Load() {
@@ -136,7 +155,7 @@ func (p *Pool) TryForEach(n int, fn func(i int)) error {
 				if i >= n {
 					return
 				}
-				if err := p.run(i, fn); err != nil {
+				if err := p.run(w, i, fn); err != nil {
 					failed.Store(true)
 					mu.Lock()
 					if firstErr == nil || err.Index < firstErr.Index {
@@ -146,7 +165,7 @@ func (p *Pool) TryForEach(n int, fn func(i int)) error {
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	if firstErr != nil {
@@ -159,7 +178,7 @@ func (p *Pool) TryForEach(n int, fn func(i int)) error {
 // fn to a *PanicError. The busy gauge is decremented on the panic path too,
 // so a recovered batch leaves the instruments consistent; the task counter
 // only counts tasks that completed.
-func (p *Pool) run(i int, fn func(int)) (perr *PanicError) {
+func (p *Pool) run(w, i int, fn func(w, i int)) (perr *PanicError) {
 	if p.busy != nil {
 		p.busy.Add(1)
 		defer p.busy.Add(-1)
@@ -169,7 +188,7 @@ func (p *Pool) run(i int, fn func(int)) (perr *PanicError) {
 			perr = &PanicError{Value: r, Stack: debug.Stack(), Index: i}
 		}
 	}()
-	fn(i)
+	fn(w, i)
 	if p.tasks != nil {
 		p.tasks.Inc()
 	}

@@ -1,0 +1,96 @@
+package pool
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestForEachWorkerCoversAllIndices asserts every index runs exactly once and
+// every reported worker identity is within the resolved worker range.
+func TestForEachWorkerCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers)
+		const n = 500
+		var mu sync.Mutex
+		seen := make(map[int]int, n)
+		maxW := 0
+		p.ForEachWorker(n, func(w, i int) {
+			if w < 0 || w >= p.Workers() {
+				t.Errorf("workers=%d: worker id %d out of range", workers, w)
+			}
+			mu.Lock()
+			seen[i]++
+			if w > maxW {
+				maxW = w
+			}
+			mu.Unlock()
+		})
+		if len(seen) != n {
+			t.Fatalf("workers=%d: %d distinct indices ran, want %d", workers, len(seen), n)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+// TestForEachWorkerSerialInline asserts the single-worker path runs inline,
+// in increasing index order, always as worker 0.
+func TestForEachWorkerSerialInline(t *testing.T) {
+	p := New(1)
+	var order []int
+	p.ForEachWorker(10, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("serial pool reported worker %d", w)
+		}
+		order = append(order, i)
+	})
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial order[%d] = %d", i, got)
+		}
+	}
+}
+
+// TestForEachWorkerStableIdentity asserts a worker's id is stable across the
+// tasks it pulls: per-worker scratch indexed by w must never be shared.
+func TestForEachWorkerStableIdentity(t *testing.T) {
+	p := New(4)
+	counts := make([]int, p.Workers())
+	var mu sync.Mutex
+	p.ForEachWorker(200, func(w, i int) {
+		mu.Lock()
+		counts[w]++
+		mu.Unlock()
+	})
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 200 {
+		t.Fatalf("per-worker counts sum to %d, want 200", total)
+	}
+}
+
+// TestTryForEachWorkerPanic asserts the worker-identity variant keeps
+// TryForEach's panic contract: lowest-index panic wins, error not raw panic.
+func TestTryForEachWorkerPanic(t *testing.T) {
+	p := New(4)
+	err := p.TryForEachWorker(100, func(w, i int) {
+		if i == 13 || i == 77 {
+			panic("boom")
+		}
+	})
+	if err == nil {
+		t.Fatal("expected error from panicking tasks")
+	}
+	pe, ok := err.(*PanicError)
+	if !ok {
+		t.Fatalf("error type %T, want *PanicError", err)
+	}
+	if pe.Value != "boom" {
+		t.Fatalf("panic value %v", pe.Value)
+	}
+}

@@ -110,6 +110,12 @@ type LiveConfig struct {
 	// LiveResult agrees with the live Stats() counters. Violations panic.
 	// Intended for tests and debugging; the checks are O(1) per batch.
 	CheckInvariants bool
+	// LockedQueryReads forces Query onto the mutex-guarded per-call read
+	// path instead of the published RCU snapshots (and disables snapshot
+	// publication entirely). It exists for one purpose: cmd/pierscale
+	// measures the contention of the pre-snapshot read path against the
+	// lock-free one. Production pipelines leave it false.
+	LockedQueryReads bool
 }
 
 // LiveResult summarizes a live pipeline run.
@@ -343,6 +349,12 @@ func LiveRun(strategy core.Strategy, cfg LiveConfig) *Live {
 		res:      &liveCounters{},
 		start:    time.Now(),
 	}
+	if !l.cfg.LockedQueryReads {
+		// Publish the empty index so queries arriving before the first
+		// increment already run lock-free; this also switches the collection
+		// into snapshot-tracking mode (see blocking.PublishSnapshot).
+		st.col.PublishSnapshot()
+	}
 	l.st = st
 	go l.prep(st.col)
 	go l.loop(st)
@@ -548,6 +560,13 @@ func (l *Live) loop(st *liveState) {
 					}
 				}
 			}
+		}
+		if !l.cfg.LockedQueryReads {
+			// One atomic publication per increment: queries switch from the
+			// previous index version to this one, never observing a half-
+			// applied increment. Publishing before UpdateIndex lets queries
+			// see the new profiles while the strategy is still weighing.
+			st.col.PublishSnapshot()
 		}
 		l.strategy.UpdateIndex(st.col, inc)
 		now := time.Now()
@@ -1148,6 +1167,11 @@ func RestoreLive(r io.Reader, strategy core.Strategy, cfg LiveConfig) (*Live, er
 	}
 	l.m.dedup.Set(int64(len(st.executed)))
 	l.m.retryPending.Set(int64(len(st.retryQ)))
+	if !l.cfg.LockedQueryReads {
+		// Republish the restored index so post-restore queries run lock-free
+		// from the first call, exactly as after LiveRun.
+		st.col.PublishSnapshot()
+	}
 	l.st = st
 	go l.prep(st.col)
 	go l.loop(st)

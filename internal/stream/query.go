@@ -16,14 +16,17 @@ import (
 // This file is the online serving path: Live.Query resolves one probe
 // profile against the live blocking index from any goroutine, while the
 // pipeline goroutine keeps ingesting. The query never writes pipeline state
-// — candidates come from point-in-time posting copies (blocking's Probe*
-// accessors), the probe's tokens are looked up without interning, and
-// nothing the query does reaches the strategy, the cluster graph, the dedup
-// map, or the adaptive-K controller — so a stream run produces bit-for-bit
-// identical results whether or not queries hammer it. The one shared piece
-// is the fallible matcher's circuit breaker: queries and stream batches
-// protect the same downstream match service, so a breaker opened by either
-// side throttles both. See DESIGN.md §11.
+// — candidates come from one pinned read view (the RCU snapshot the pipeline
+// publishes after each increment, or the locked Probe* path as fallback),
+// the probe's tokens are looked up without interning, and nothing the query
+// does reaches the strategy, the cluster graph, the dedup map, or the
+// adaptive-K controller — so a stream run produces bit-for-bit identical
+// results whether or not queries hammer it. Because the whole query runs
+// against a single published version, its answer can never mix state from
+// two increments (no torn snapshots); see DESIGN.md §12. The one shared
+// piece is the fallible matcher's circuit breaker: queries and stream
+// batches protect the same downstream match service, so a breaker opened by
+// either side throttles both. See DESIGN.md §11.
 
 // DefaultQueryTopK is the number of top-ranked candidates a query matches
 // when QueryOptions.TopK is zero.
@@ -99,8 +102,12 @@ func (l *Live) Query(ctx context.Context, probe *profile.Profile, opt QueryOptio
 	t0 := time.Now()
 	col := l.st.col
 
+	// Pin one read view for the whole query. The published snapshot makes
+	// every lookup below lock-free; the locked reader is the fallback (and
+	// the benchmark baseline via LiveConfig.LockedQueryReads).
+	view := l.probeReader(col)
 	syms := col.ProbeSyms(probe)
-	postings := col.ProbePostings(syms)
+	postings := view.AppendPostings(make([]*blocking.Posting, 0, len(syms)), syms)
 
 	// Aggregate per-partner statistics over the probe's posting copies —
 	// shared-block count, ARCS reciprocal sum — exactly as incremental
@@ -116,8 +123,7 @@ func (l *Live) Query(ctx context.Context, probe *profile.Profile, opt QueryOptio
 			partners[id] = a
 		}
 	}
-	for i := range postings {
-		p := &postings[i]
+	for _, p := range postings {
 		inv := 1.0 / float64(maxInt(1, p.Comparisons(l.cfg.CleanClean)))
 		if l.cfg.CleanClean {
 			if probe.Source == profile.SourceA {
@@ -136,7 +142,7 @@ func (l *Live) Query(ctx context.Context, probe *profile.Profile, opt QueryOptio
 	for id, a := range partners {
 		cands = append(cands, QueryCandidate{
 			ID:     id,
-			Weight: l.probeWeigh(col, bProbe, id, a),
+			Weight: l.probeWeigh(view, bProbe, id, a),
 		})
 	}
 	// Best weight first; ties by ascending partner ID so concurrent queries
@@ -156,16 +162,18 @@ func (l *Live) Query(ctx context.Context, probe *profile.Profile, opt QueryOptio
 		cands = cands[:topK]
 	}
 
-	// Resolve profiles and match on the calling goroutine. A candidate
-	// evicted between the posting copy and here is dropped — the answer
-	// reflects the live registry, not a stale posting.
+	// Resolve profiles and match on the calling goroutine. Profiles come
+	// from the same pinned view as the postings, so a candidate listed in a
+	// posting always resolves against the registry of that same version
+	// (a profile evicted in a *later* increment still answers here — the
+	// answer is consistent as of the pinned version).
 	out := cands[:0]
 	for i := range cands {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		c := cands[i]
-		c.Profile = col.ProbeProfile(c.ID)
+		c.Profile = view.Profile(c.ID)
 		if c.Profile == nil {
 			continue
 		}
@@ -187,24 +195,35 @@ func (l *Live) Query(ctx context.Context, probe *profile.Profile, opt QueryOptio
 	return ans, nil
 }
 
+// probeReader picks the read view one query pins for its whole execution:
+// the published RCU snapshot when the pipeline publishes them (lock-free,
+// version-consistent), otherwise the locked per-call reader. The
+// LockedQueryReads knob forces the locked path so cmd/pierscale can measure
+// the contention the snapshots remove.
+func (l *Live) probeReader(col *blocking.Collection) blocking.Reader {
+	if l.cfg.LockedQueryReads {
+		return col.LockedReader()
+	}
+	return col.ProbeView()
+}
+
 // probeWeigh computes the configured scheme weight for (probe, partner id)
-// using only the concurrent-safe Probe* accessors — metablocking's weigh
-// reads the registry through the owner-only path and assumes a registered
-// anchor, neither of which holds for a probe. The formulas mirror
-// metablocking.Scheme exactly, with |B(probe)| = the probe's live posting
-// count.
-func (l *Live) probeWeigh(col *blocking.Collection, bProbe, id int, a probeAcc) float64 {
+// against the query's pinned view — metablocking's weigh reads the registry
+// through the owner-only path and assumes a registered anchor, neither of
+// which holds for a probe. The formulas mirror metablocking.Scheme exactly,
+// with |B(probe)| = the probe's live posting count.
+func (l *Live) probeWeigh(view blocking.Reader, bProbe, id int, a probeAcc) float64 {
 	switch l.cfg.Scheme {
 	case metablocking.JSScheme:
-		by := col.ProbeNumBlocksOf(id)
+		by := view.NumBlocksOf(id)
 		union := bProbe + by - a.common
 		if union <= 0 {
 			return 0
 		}
 		return float64(a.common) / float64(union)
 	case metablocking.ECBS:
-		total := col.ProbeNumBlocks()
-		by := col.ProbeNumBlocksOf(id)
+		total := view.NumBlocks()
+		by := view.NumBlocksOf(id)
 		if bProbe == 0 || by == 0 || total == 0 {
 			return 0
 		}
