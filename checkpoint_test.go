@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -77,6 +79,135 @@ func TestCheckpointRestoreResumesRun(t *testing.T) {
 	defer mu.Unlock()
 	if reported == 0 {
 		t.Error("no matches reported after restore")
+	}
+}
+
+// TestCheckpointFileRoundTrip checkpoints to a real file — the deployment
+// path, not an in-memory buffer — and restores from it twice: once onto the
+// default in-memory backend and once onto the disk-spill backend
+// (StorageBudget small enough to force spilling on this workload). Both
+// restored pipelines must finish with the uninterrupted run's exact totals:
+// the storage backend is a residency knob, never a semantic one.
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	profiles, _ := moviePairs()
+	opt := pier.Options{Algorithm: pier.IPES, CleanClean: true, CheckInvariants: true}
+	half := len(profiles) / 2
+
+	full, err := pier.NewPipeline(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range profiles {
+		if err := full.Push([]pier.Profile{pr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := full.Stop()
+
+	p, err := pier.NewPipeline(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range profiles[:half] {
+		if err := p.Push([]pier.Profile{pr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "run.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := p.Checkpoint(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatalf("checkpoint to %s: %v", path, err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() != n {
+		t.Fatalf("checkpoint reported %d bytes, file holds %v (stat err %v)", n, fi, err)
+	}
+	p.Stop()
+
+	for _, budget := range []int64{0, 4 << 10} {
+		rf, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ropt := opt
+		ropt.StorageBudget = budget
+		r, err := pier.Restore(rf, ropt)
+		rf.Close()
+		if err != nil {
+			t.Fatalf("restore (budget=%d): %v", budget, err)
+		}
+		for _, pr := range profiles[half:] {
+			if err := r.Push([]pier.Profile{pr}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := r.Stop()
+		if !sameSummary(got, want) {
+			t.Errorf("restored run (budget=%d) finished with %+v, want %+v", budget, got, want)
+		}
+		if err := r.Close(); err != nil {
+			t.Errorf("close restored pipeline (budget=%d): %v", budget, err)
+		}
+	}
+}
+
+// sameSummary compares summaries up to wall-clock time.
+func sameSummary(a, b pier.Summary) bool {
+	return a.Profiles == b.Profiles && a.Comparisons == b.Comparisons &&
+		a.Matches == b.Matches && a.NewLinks == b.NewLinks
+}
+
+// TestRestoreV2Fixture restores the committed format-v2 snapshot
+// (testdata/checkpoint_v2.snap, written by genfixture.go from the first half
+// of the movie workload) on both storage backends and finishes the run. The
+// fixture pins on-disk compatibility: a change that breaks reading existing
+// v2 checkpoints — a struct rename the gob decoder can't map, a container
+// tweak without a version bump — fails here, not in a user's recovery path.
+func TestRestoreV2Fixture(t *testing.T) {
+	profiles, _ := moviePairs()
+	opt := pier.Options{Algorithm: pier.IPES, CleanClean: true, CheckInvariants: true}
+
+	full, err := pier.NewPipeline(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range profiles {
+		if err := full.Push([]pier.Profile{pr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := full.Stop()
+
+	for _, budget := range []int64{0, 4 << 10} {
+		f, err := os.Open(filepath.Join("testdata", "checkpoint_v2.snap"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ropt := opt
+		ropt.StorageBudget = budget
+		r, err := pier.Restore(f, ropt)
+		f.Close()
+		if err != nil {
+			t.Fatalf("restore v2 fixture (budget=%d): %v", budget, err)
+		}
+		for _, pr := range profiles[len(profiles)/2:] {
+			if err := r.Push([]pier.Profile{pr}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := r.Stop()
+		if !sameSummary(got, want) {
+			t.Errorf("fixture run (budget=%d) finished with %+v, want %+v", budget, got, want)
+		}
+		if err := r.Close(); err != nil {
+			t.Errorf("close fixture pipeline (budget=%d): %v", budget, err)
+		}
 	}
 }
 

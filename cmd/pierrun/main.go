@@ -48,6 +48,7 @@ import (
 	"pier/internal/dataset"
 	"pier/internal/match"
 	"pier/internal/obsv"
+	"pier/internal/storage"
 	"pier/internal/stream"
 )
 
@@ -93,6 +94,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rate := fs.Float64("rate", 16, "increments per second (0 = as fast as possible)")
 	nIncs := fs.Int("increments", 100, "number of increments to split the stream into")
 	window := fs.Int("window", 0, "profile window for unbounded streams (0 keeps everything)")
+	memBudget := fs.Int64("mem-budget", 0, "resident-byte budget for the blocking index and dedup set; cold shards spill to temp files (0 keeps everything in memory; results are identical for every value)")
 	metricsAddr := fs.String("metrics", "", "serve /metrics and /debug/vars on this address (e.g. :9090; empty disables)")
 	parallelism := fs.Int("parallelism", 0, "worker count of the parallel pipeline stages (0 = one per CPU, 1 = exact serial)")
 	shards := fs.Int("shards", 0, "blocking-index shard count, rounded up to a power of two (0 = heuristic, 1 = unsharded; results are identical for every value)")
@@ -123,6 +125,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *ckptEvery < 0 {
 		return usage("-checkpoint-every must be positive")
+	}
+	if *memBudget < 0 {
+		return usage("-mem-budget must be non-negative")
 	}
 
 	// One registry covers both parallel stages (candidate generation and
@@ -220,6 +225,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Parallelism:  *parallelism,
 		Shards:       *shards,
 		Metrics:      reg,
+		Storage:      storage.Config{Budget: *memBudget},
 	}
 	found := 0
 	liveCfg.OnMatch = func(m stream.LiveMatch) {
@@ -247,6 +253,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else {
 		live = stream.LiveRun(strategy, liveCfg)
 	}
+	// Remove -mem-budget spill files on every exit path; Interrupt first so
+	// Close sees a quiescent pipeline even when a runtime failure aborts the
+	// run before Stop (both calls are idempotent no-ops after a clean Stop).
+	defer func() {
+		live.Interrupt()
+		live.Close()
+	}()
 
 	// checkpoint writes the snapshot atomically: a crash mid-write leaves
 	// the previous checkpoint intact.

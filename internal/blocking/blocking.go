@@ -30,6 +30,7 @@ import (
 	"pier/internal/intern"
 	"pier/internal/pool"
 	"pier/internal/profile"
+	"pier/internal/storage"
 )
 
 // Block is the set of profiles sharing one token, kept per source so that
@@ -57,14 +58,14 @@ func (b *Block) Comparisons(cleanClean bool) int {
 	return n * (n - 1) / 2
 }
 
-// shard is one partition of the block index: the live blocks and purge
-// tombstones of every symbol s with s & mask == shard index. The mutex
-// serializes concurrent ingest into the shard (AddBatch runs one worker per
-// shard); readers follow the collection-wide single-writer contract instead
-// of locking.
+// shard is one partition of the block index: the purge tombstones and dirty
+// log of every symbol s with s & mask == shard index. The posting lists
+// themselves live in the collection's storage.PostingStore under the same
+// shard layout (store.go). The mutex serializes concurrent ingest into the
+// shard (AddBatch runs one worker per shard); readers follow the
+// collection-wide single-writer contract instead of locking.
 type shard struct {
 	mu     sync.Mutex
-	blocks map[intern.Sym]*Block
 	purged map[intern.Sym]struct{}
 	// dirty logs the symbols mutated since the last PublishSnapshot, appended
 	// under mu by whichever worker owns the shard; empty (and never appended
@@ -88,6 +89,10 @@ type Collection struct {
 	tab    *intern.Table
 	shards []shard
 	mask   intern.Sym // len(shards)-1; shard of sym s is s & mask
+	// store holds the posting lists, sharded like the lock shards. The
+	// default backend is a plain in-memory map; NewCollectionStorage can
+	// select the budgeted disk-spill backend instead (see store.go).
+	store storage.PostingStore[*Block]
 
 	// regMu guards the profile registry (profiles, ofProf) against the
 	// Probe* readers. The owner takes the write lock around registry
@@ -140,25 +145,7 @@ func NewCollectionKeyed(cleanClean bool, maxBlockSize int, keyer Keyer) *Collect
 // concurrency knob, never a semantic one: the collection's observable state
 // is identical for every value.
 func NewCollectionSharded(cleanClean bool, maxBlockSize int, keyer Keyer, shards int) *Collection {
-	if keyer == nil {
-		keyer = func(p *profile.Profile) []string { return p.Tokens() }
-	}
-	n := normalizeShards(shards)
-	c := &Collection{
-		cleanClean:   cleanClean,
-		maxBlockSize: maxBlockSize,
-		keyer:        keyer,
-		tab:          intern.New(1 << 10),
-		shards:       make([]shard, n),
-		mask:         intern.Sym(n - 1),
-		profiles:     make(map[int]*profile.Profile),
-		ofProf:       make(map[int][]intern.Sym),
-	}
-	for i := range c.shards {
-		c.shards[i].blocks = make(map[intern.Sym]*Block, 64)
-		c.shards[i].purged = make(map[intern.Sym]struct{})
-	}
-	return c
+	return NewCollectionStorage(cleanClean, maxBlockSize, keyer, shards, storage.Config{})
 }
 
 // normalizeShards applies the shard-count heuristic documented on
@@ -206,10 +193,9 @@ func (c *Collection) addSym(sh *shard, p *profile.Profile, sym intern.Sym) bool 
 	if c.snapOn {
 		sh.dirty = append(sh.dirty, sym)
 	}
-	b, ok := sh.blocks[sym]
+	b, ok := c.getBlock(sym)
 	if !ok {
 		b = &Block{Key: c.tab.StringOf(sym), Sym: sym}
-		sh.blocks[sym] = b
 	}
 	if p.Source == profile.SourceB {
 		b.B = append(b.B, p.ID)
@@ -217,10 +203,13 @@ func (c *Collection) addSym(sh *shard, p *profile.Profile, sym intern.Sym) bool 
 		b.A = append(b.A, p.ID)
 	}
 	if c.maxBlockSize > 0 && b.Size() > c.maxBlockSize {
-		delete(sh.blocks, sym)
+		if ok {
+			c.delBlock(sym)
+		}
 		sh.purged[sym] = struct{}{}
 		return false
 	}
+	c.putBlock(sym, b)
 	return true
 }
 
@@ -255,6 +244,7 @@ func (c *Collection) Add(p *profile.Profile) int {
 	if c.snapOn {
 		c.dirtyReg = append(c.dirtyReg, p.ID)
 	}
+	c.maintainStore()
 	return len(toks)
 }
 
@@ -285,6 +275,7 @@ func (c *Collection) addPrepared(p *profile.Profile, syms []intern.Sym) int {
 	if c.snapOn {
 		c.dirtyReg = append(c.dirtyReg, p.ID)
 	}
+	c.maintainStore()
 	return len(syms)
 }
 
@@ -399,6 +390,7 @@ func (c *Collection) AddBatchPrepared(delta []*profile.Profile, symsOf [][]inter
 		}
 	}
 	c.regMu.Unlock()
+	c.maintainStore()
 	return total
 }
 
@@ -432,7 +424,7 @@ func (c *Collection) Remove(id int) {
 	for _, sym := range c.ofProf[id] {
 		sh := c.shardOf(sym)
 		sh.mu.Lock()
-		b, live := sh.blocks[sym]
+		b, live := c.getBlock(sym)
 		if !live {
 			sh.mu.Unlock()
 			continue
@@ -448,7 +440,9 @@ func (c *Collection) Remove(id int) {
 			b.B = removeID(b.B, id)
 		}
 		if b.Size() == 0 {
-			delete(sh.blocks, sym)
+			c.delBlock(sym)
+		} else {
+			c.putBlock(sym, b)
 		}
 		sh.mu.Unlock()
 	}
@@ -460,6 +454,7 @@ func (c *Collection) Remove(id int) {
 		c.dirtyReg = append(c.dirtyReg, id)
 	}
 	c.version++
+	c.maintainStore()
 }
 
 // removeID deletes the first occurrence of id, preserving order.
@@ -492,13 +487,15 @@ func (c *Collection) Block(key string) *Block {
 	if !ok {
 		return nil
 	}
-	return c.shardOf(sym).blocks[sym]
+	b, _ := c.getBlock(sym)
+	return b
 }
 
 // BlockBySym returns the live block for an interned symbol, or nil. It is the
 // hot-path variant of Block: no string hash, one shard-map lookup.
 func (c *Collection) BlockBySym(sym intern.Sym) *Block {
-	return c.shardOf(sym).blocks[sym]
+	b, _ := c.getBlock(sym)
+	return b
 }
 
 // BlocksOf returns the live blocks containing profile id, in token order of
@@ -512,7 +509,7 @@ func (c *Collection) BlocksOf(id int) []*Block {
 // the per-profile block enumeration of candidate generation allocation-free.
 func (c *Collection) AppendBlocksOf(id int, buf []*Block) []*Block {
 	for _, sym := range c.ofProf[id] {
-		if b, ok := c.shardOf(sym).blocks[sym]; ok {
+		if b, ok := c.getBlock(sym); ok {
 			buf = append(buf, b)
 		}
 	}
@@ -525,7 +522,7 @@ func (c *Collection) AppendBlocksOf(id int, buf []*Block) []*Block {
 // for per-pair weighing, which runs once per candidate comparison.
 func (c *Collection) AppendLiveSymsOf(id int, buf []intern.Sym) []intern.Sym {
 	for _, sym := range c.ofProf[id] {
-		if _, ok := c.shardOf(sym).blocks[sym]; ok {
+		if c.hasBlock(sym) {
 			buf = append(buf, sym)
 		}
 	}
@@ -537,7 +534,7 @@ func (c *Collection) AppendLiveSymsOf(id int, buf []intern.Sym) []intern.Sym {
 func (c *Collection) NumBlocksOf(id int) int {
 	n := 0
 	for _, sym := range c.ofProf[id] {
-		if _, ok := c.shardOf(sym).blocks[sym]; ok {
+		if c.hasBlock(sym) {
 			n++
 		}
 	}
@@ -564,8 +561,8 @@ func (c *Collection) ProfileIDs() []int {
 // NumBlocks returns the number of live blocks.
 func (c *Collection) NumBlocks() int {
 	n := 0
-	for i := range c.shards {
-		n += len(c.shards[i].blocks)
+	for si := 0; si < c.store.NumShards(); si++ {
+		n += c.store.Len(si)
 	}
 	return n
 }
@@ -574,38 +571,44 @@ func (c *Collection) NumBlocks() int {
 // invalidate caches derived from the collection (e.g. sorted block lists).
 func (c *Collection) Version() uint64 { return c.version }
 
-// allBlocks appends every live block to buf and returns the extended slice.
-func (c *Collection) allBlocks(buf []*Block) []*Block {
-	for i := range c.shards {
-		for _, b := range c.shards[i].blocks {
-			buf = append(buf, b)
-		}
-	}
-	return buf
+// blockStat is the meta-only image of one live block, enough for the sorted
+// scans: symbol, key string, and size — readable without faulting spilled
+// shards in.
+type blockStat struct {
+	sym  intern.Sym
+	key  string
+	size int
 }
 
-// sortedBlocksBySize returns all live blocks sorted by ascending size, ties
-// broken by key *string* — never by raw symbol value, which depends on
-// arrival order — so scan order is stable across ingest permutations.
-func (c *Collection) sortedBlocksBySize() []*Block {
-	blocks := c.allBlocks(make([]*Block, 0, c.NumBlocks()))
-	sort.Slice(blocks, func(i, j int) bool {
-		si, sj := blocks[i].Size(), blocks[j].Size()
-		if si != sj {
-			return si < sj
+// sortedStatsBySize returns the meta of all live blocks sorted by ascending
+// size, ties broken by key *string* — never by raw symbol value, which
+// depends on arrival order — so scan order is stable across ingest
+// permutations (and across storage backends).
+func (c *Collection) sortedStatsBySize() []blockStat {
+	stats := make([]blockStat, 0, c.NumBlocks())
+	for si := 0; si < c.store.NumShards(); si++ {
+		c.store.RangeMeta(si, func(key uint32, m storage.Meta) bool {
+			sym := intern.Sym(key)
+			stats = append(stats, blockStat{sym: sym, key: c.tab.StringOf(sym), size: m.Size()})
+			return true
+		})
+	}
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].size != stats[j].size {
+			return stats[i].size < stats[j].size
 		}
-		return blocks[i].Key < blocks[j].Key
+		return stats[i].key < stats[j].key
 	})
-	return blocks
+	return stats
 }
 
 // SortedKeysBySize returns all live block keys sorted by ascending block
 // size, ties broken by key for determinism. The slice is freshly allocated.
 func (c *Collection) SortedKeysBySize() []string {
-	blocks := c.sortedBlocksBySize()
-	keys := make([]string, len(blocks))
-	for i, b := range blocks {
-		keys[i] = b.Key
+	stats := c.sortedStatsBySize()
+	keys := make([]string, len(stats))
+	for i, st := range stats {
+		keys[i] = st.key
 	}
 	return keys
 }
@@ -613,10 +616,10 @@ func (c *Collection) SortedKeysBySize() []string {
 // SortedSymsBySize is SortedKeysBySize resolved to symbols — the hot-path
 // form the strategies' fallback scans keep as their cursor.
 func (c *Collection) SortedSymsBySize() []intern.Sym {
-	blocks := c.sortedBlocksBySize()
-	syms := make([]intern.Sym, len(blocks))
-	for i, b := range blocks {
-		syms[i] = b.Sym
+	stats := c.sortedStatsBySize()
+	syms := make([]intern.Sym, len(stats))
+	for i, st := range stats {
+		syms[i] = st.sym
 	}
 	return syms
 }
@@ -624,23 +627,27 @@ func (c *Collection) SortedSymsBySize() []intern.Sym {
 // SortedKeysByName returns all live block keys in lexicographic order — a
 // deterministic stand-in for the "arbitrary" block order of plain batch ER.
 func (c *Collection) SortedKeysByName() []string {
-	blocks := c.allBlocks(make([]*Block, 0, c.NumBlocks()))
-	keys := make([]string, len(blocks))
-	for i, b := range blocks {
-		keys[i] = b.Key
+	keys := make([]string, 0, c.NumBlocks())
+	for si := 0; si < c.store.NumShards(); si++ {
+		c.store.RangeMeta(si, func(key uint32, _ storage.Meta) bool {
+			keys = append(keys, c.tab.StringOf(intern.Sym(key)))
+			return true
+		})
 	}
 	sort.Strings(keys)
 	return keys
 }
 
 // TotalComparisons returns the aggregate comparison count across all live
-// blocks (with cross-block redundancy, i.e. the BC measure of blocking).
+// blocks (with cross-block redundancy, i.e. the BC measure of blocking). A
+// meta-only read: it never faults spilled shards in.
 func (c *Collection) TotalComparisons() int {
 	total := 0
-	for i := range c.shards {
-		for _, b := range c.shards[i].blocks {
-			total += b.Comparisons(c.cleanClean)
-		}
+	for si := 0; si < c.store.NumShards(); si++ {
+		c.store.RangeMeta(si, func(_ uint32, m storage.Meta) bool {
+			total += m.Comparisons(c.cleanClean)
+			return true
+		})
 	}
 	return total
 }

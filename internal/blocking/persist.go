@@ -8,6 +8,7 @@ import (
 
 	"pier/internal/intern"
 	"pier/internal/profile"
+	"pier/internal/storage"
 )
 
 // Checkpointing: a long-running incremental ER service must survive restarts
@@ -66,12 +67,26 @@ func (c *Collection) Save(w io.Writer) error {
 	for i := range img.Symbols {
 		img.Symbols[i] = c.tab.StringOf(intern.Sym(i))
 	}
-	for i := range c.shards {
-		sh := &c.shards[i]
-		for sym, b := range sh.blocks {
-			img.Blocks = append(img.Blocks, persistedBlock{Sym: uint32(sym), A: b.A, B: b.B})
+	for si := 0; si < c.store.NumShards(); si++ {
+		if fz := c.store.Frozen(si); fz != nil {
+			// Spilled shard: read its segment image directly instead of
+			// faulting it in, so checkpointing never disturbs residency.
+			m, err := fz.Load()
+			if err != nil {
+				return fmt.Errorf("blocking: save checkpoint: %w", err)
+			}
+			for sym, b := range m {
+				img.Blocks = append(img.Blocks, persistedBlock{Sym: sym, A: b.A, B: b.B})
+			}
+			continue
 		}
-		for sym := range sh.purged {
+		c.store.Range(si, func(sym uint32, b *Block) bool {
+			img.Blocks = append(img.Blocks, persistedBlock{Sym: sym, A: b.A, B: b.B})
+			return true
+		})
+	}
+	for i := range c.shards {
+		for sym := range c.shards[i].purged {
 			img.Purged = append(img.Purged, uint32(sym))
 		}
 	}
@@ -112,23 +127,31 @@ func Load(r io.Reader, keyer Keyer) (*Collection, error) {
 // the shard count is an ingest-concurrency knob, not persisted state, so any
 // value restores the same observable collection).
 func LoadSharded(r io.Reader, keyer Keyer, shards int) (*Collection, error) {
+	return LoadShardedStorage(r, keyer, shards, storage.Config{})
+}
+
+// LoadShardedStorage is LoadSharded with an explicit storage backend. Like
+// the shard count, the backend is a runtime knob, not persisted state: a
+// checkpoint written under either backend restores under either backend. The
+// restored index is trimmed to the budget before returning.
+func LoadShardedStorage(r io.Reader, keyer Keyer, shards int, scfg storage.Config) (*Collection, error) {
 	var img persistedCollection
 	if err := gob.NewDecoder(r).Decode(&img); err != nil {
 		return nil, fmt.Errorf("blocking: load checkpoint: %w", err)
 	}
-	c := NewCollectionSharded(img.CleanClean, img.MaxBlockSize, keyer, shards)
+	c := NewCollectionStorage(img.CleanClean, img.MaxBlockSize, keyer, shards, scfg)
 	c.tab = intern.FromSymbols(img.Symbols)
 	for _, pb := range img.Blocks {
 		sym := intern.Sym(pb.Sym)
 		if int(pb.Sym) >= len(img.Symbols) {
 			return nil, fmt.Errorf("blocking: load checkpoint: block symbol %d outside table of %d", pb.Sym, len(img.Symbols))
 		}
-		c.shardOf(sym).blocks[sym] = &Block{
+		c.putBlock(sym, &Block{
 			Key: img.Symbols[pb.Sym],
 			Sym: sym,
 			A:   pb.A,
 			B:   pb.B,
-		}
+		})
 	}
 	for _, s := range img.Purged {
 		sym := intern.Sym(s)
@@ -150,5 +173,6 @@ func LoadSharded(r io.Reader, keyer Keyer, shards int) (*Collection, error) {
 		c.ofProf[id] = out
 	}
 	c.version = img.Version
+	c.maintainStore()
 	return c, nil
 }

@@ -65,7 +65,7 @@ func (c *Collection) ProbePostings(syms []intern.Sym) []Posting {
 	for _, sym := range syms {
 		sh := c.shardOf(sym)
 		sh.mu.Lock()
-		b, ok := sh.blocks[sym]
+		b, ok := c.getBlock(sym)
 		if ok {
 			out = append(out, Posting{
 				Sym: sym,
@@ -98,7 +98,7 @@ func (c *Collection) ProbeNumBlocks() int {
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
-		n += len(sh.blocks)
+		n += c.store.Len(i)
 		sh.mu.Unlock()
 	}
 	return n
@@ -115,7 +115,7 @@ func (c *Collection) ProbeNumBlocksOf(id int) int {
 	for _, sym := range syms {
 		sh := c.shardOf(sym)
 		sh.mu.Lock()
-		if _, ok := sh.blocks[sym]; ok {
+		if c.hasBlock(sym) {
 			n++
 		}
 		sh.mu.Unlock()

@@ -1,8 +1,12 @@
 package blocking
 
 import (
+	"fmt"
+	"sync"
+
 	"pier/internal/intern"
 	"pier/internal/profile"
+	"pier/internal/storage"
 )
 
 // This file is the RCU-style publication layer of the collection: the owner
@@ -58,6 +62,46 @@ type Snap struct {
 	posts     []*postChunk
 	regs      []*regChunk
 	xreg      map[int]regEntry // overflow for negative / non-dense profile IDs
+
+	// shardMask and redirects serve the storage seam: a chunk slot holding
+	// spilledMarker means the symbol's shard was on disk at publish time, and
+	// its posting is materialized on demand from the frozen segment of its
+	// shard (redirects is keyed by shard index, sym & shardMask). Both are
+	// empty under the in-memory backend.
+	shardMask int
+	redirects map[int]*frozenShard
+}
+
+// spilledMarker is the sentinel posting installed in slots whose shard was
+// spilled at publish time; PostingOf resolves it through Snap.redirects.
+// NumBlocksOf counts it as live without touching disk.
+var spilledMarker = &Posting{}
+
+// frozenShard lazily materializes the postings of one retired spill segment.
+// It is shared across consecutive snapshots until the shard re-spills (new
+// segment, new frozenShard) or faults back in (the publish path retires the
+// redirect), so each segment is decoded at most once per spill generation.
+type frozenShard struct {
+	fz    *storage.Frozen[*Block]
+	once  sync.Once
+	posts map[intern.Sym]*Posting
+}
+
+// posting returns the frozen posting of sym (nil if the segment has none),
+// decoding the whole segment on first use. Safe for concurrent use.
+func (f *frozenShard) posting(sym intern.Sym) *Posting {
+	f.once.Do(func() {
+		m, err := f.fz.Load()
+		if err != nil {
+			panic(fmt.Sprintf("storage: loading retired spill segment: %v", err))
+		}
+		f.posts = make(map[intern.Sym]*Posting, len(m))
+		for key, b := range m {
+			// Decoded blocks are private to this handle: alias their arrays.
+			f.posts[intern.Sym(key)] = &Posting{Sym: intern.Sym(key), Key: b.Key, A: b.A, B: b.B}
+		}
+	})
+	return f.posts[sym]
 }
 
 // Reader is the query-side read interface of a collection: everything
@@ -84,14 +128,29 @@ func (s *Snap) Version() uint64 { return s.version }
 // NumBlocks returns the number of live blocks in the snapshot.
 func (s *Snap) NumBlocks() int { return s.numBlocks }
 
-// PostingOf returns the snapshot's posting for sym, or nil if the symbol has
-// no live block in this view.
-func (s *Snap) PostingOf(sym intern.Sym) *Posting {
+// rawPostingOf returns the chunk slot of sym verbatim — possibly the
+// spilledMarker sentinel — or nil if the symbol has no live block.
+func (s *Snap) rawPostingOf(sym intern.Sym) *Posting {
 	ci := int(sym) >> postChunkBits
 	if ci >= len(s.posts) || s.posts[ci] == nil {
 		return nil
 	}
 	return s.posts[ci][int(sym)&(postChunkSize-1)]
+}
+
+// PostingOf returns the snapshot's posting for sym, or nil if the symbol has
+// no live block in this view. Symbols whose shard was spilled at publish time
+// are materialized from the shard's frozen segment on first access.
+func (s *Snap) PostingOf(sym intern.Sym) *Posting {
+	p := s.rawPostingOf(sym)
+	if p == spilledMarker {
+		fs := s.redirects[int(sym)&s.shardMask]
+		if fs == nil {
+			panic(fmt.Sprintf("blocking: snapshot slot for symbol %d is marked spilled but has no redirect", sym))
+		}
+		return fs.posting(sym)
+	}
+	return p
 }
 
 // AppendPostings implements Reader over the published chunks: no locks, no
@@ -123,11 +182,13 @@ func (s *Snap) Profile(id int) *profile.Profile { return s.regOf(id).p }
 
 // NumBlocksOf implements Reader: live blocks containing id, counted against
 // this snapshot's posting view (a block purged before publication counts as
-// dead for every profile listing it, mirroring the owner's NumBlocksOf).
+// dead for every profile listing it, mirroring the owner's NumBlocksOf). A
+// spilled-shard marker counts as live without materializing the segment —
+// weighting's |B(p)| terms stay disk-free.
 func (s *Snap) NumBlocksOf(id int) int {
 	n := 0
 	for _, sym := range s.regOf(id).syms {
-		if s.PostingOf(sym) != nil {
+		if s.rawPostingOf(sym) != nil {
 			n++
 		}
 	}
@@ -144,7 +205,7 @@ func (r lockedReader) AppendPostings(buf []*Posting, syms []intern.Sym) []*Posti
 	for _, sym := range syms {
 		sh := r.c.shardOf(sym)
 		sh.mu.Lock()
-		if b, ok := sh.blocks[sym]; ok {
+		if b, ok := r.c.getBlock(sym); ok {
 			buf = append(buf, &Posting{
 				Sym: sym,
 				Key: b.Key,
@@ -188,12 +249,15 @@ func (c *Collection) ProbeView() Reader {
 // removals copy posting lists instead of editing them in place, so published
 // views stay frozen. Collections that never call PublishSnapshot pay nothing.
 func (c *Collection) PublishSnapshot() {
+	var s *Snap
 	if !c.snapOn {
 		c.snapOn = true
-		c.snap.Store(c.buildFullSnap())
-		return
+		s = c.buildFullSnap()
+	} else {
+		s = c.buildIncrementalSnap(c.snap.Load())
 	}
-	c.snap.Store(c.buildIncrementalSnap(c.snap.Load()))
+	c.finishSnapSpill(s)
+	c.snap.Store(s)
 }
 
 // postView freezes the current live block of sym into an immutable posting
@@ -202,10 +266,15 @@ func (c *Collection) PublishSnapshot() {
 // beyond the pinned length or replaces the whole slice (CoW removal), so the
 // window the view exposes is immutable.
 func (c *Collection) postView(sym intern.Sym) *Posting {
-	b, ok := c.shardOf(sym).blocks[sym]
+	b, ok := c.getBlock(sym)
 	if !ok {
 		return nil
 	}
+	return freezePosting(sym, b)
+}
+
+// freezePosting builds the immutable frozen-length view of one live block.
+func freezePosting(sym intern.Sym, b *Block) *Posting {
 	return &Posting{
 		Sym: sym,
 		Key: b.Key,
@@ -226,19 +295,26 @@ func (c *Collection) regView(id int) regEntry {
 }
 
 // buildFullSnap walks the whole collection. Used once, at the first publish.
+// Shards already spilled to disk are skipped here; finishSnapSpill installs
+// their redirect markers without faulting them in.
 func (c *Collection) buildFullSnap() *Snap {
-	s := &Snap{version: c.version}
+	s := &Snap{version: c.version, shardMask: int(c.mask)}
 	nSyms := c.tab.Len()
 	s.posts = make([]*postChunk, (nSyms+postChunkSize-1)>>postChunkBits)
-	for si := range c.shards {
-		for sym := range c.shards[si].blocks {
+	for si := 0; si < c.store.NumShards(); si++ {
+		if c.store.Spilled(si) {
+			continue
+		}
+		c.store.Range(si, func(key uint32, b *Block) bool {
+			sym := intern.Sym(key)
 			ci := int(sym) >> postChunkBits
 			if s.posts[ci] == nil {
 				s.posts[ci] = new(postChunk)
 			}
-			s.posts[ci][int(sym)&(postChunkSize-1)] = c.postView(sym)
+			s.posts[ci][int(sym)&(postChunkSize-1)] = freezePosting(sym, b)
 			s.numBlocks++
-		}
+			return true
+		})
 	}
 	for id := range c.profiles {
 		if id >= 0 && id < maxDenseID {
@@ -266,7 +342,12 @@ func (c *Collection) buildFullSnap() *Snap {
 // the chunks containing entries dirtied since the last publish, consuming the
 // dirty logs. Cost is proportional to the increment, not the collection.
 func (c *Collection) buildIncrementalSnap(prev *Snap) *Snap {
-	s := &Snap{version: c.version, numBlocks: prev.numBlocks}
+	s := &Snap{
+		version:   c.version,
+		numBlocks: prev.numBlocks,
+		shardMask: prev.shardMask,
+		redirects: prev.redirects, // shared; finishSnapSpill clones on write
+	}
 
 	nChunks := (c.tab.Len() + postChunkSize - 1) >> postChunkBits
 	if nChunks < len(prev.posts) {
@@ -354,4 +435,90 @@ func (c *Collection) buildIncrementalSnap(prev *Snap) *Snap {
 	}
 	c.dirtyReg = c.dirtyReg[:0]
 	return s
+}
+
+// finishSnapSpill is the storage half of a publish: it lets the spill
+// backend enforce its budget now that the snapshot no longer pins the
+// posting arrays of cold shards, then patches the snapshot so spilled
+// shards are served from their frozen segments. The order matters — build
+// first (dirty shards are resident, having just been mutated), evict
+// second, redirect third — so the published view never retains the heap
+// image of a shard the store just dropped. Under the in-memory backend the
+// whole call is a no-op.
+func (c *Collection) finishSnapSpill(s *Snap) {
+	c.store.Maintain()
+	newly := c.store.TakeSpilled()
+	// Redirects whose shard faulted back in since the last publish can be
+	// retired: their marker slots are rebuilt as direct views below, which
+	// releases the materialized segment cache.
+	var retire []int
+	for si := range s.redirects {
+		if !c.store.Spilled(si) {
+			retire = append(retire, si)
+		}
+	}
+	if len(newly) == 0 && len(retire) == 0 {
+		return
+	}
+	redirects := make(map[int]*frozenShard, len(s.redirects)+len(newly))
+	for si, fs := range s.redirects {
+		redirects[si] = fs
+	}
+	s.redirects = redirects
+	// set overwrites one chunk slot, cloning each touched chunk once (chunks
+	// may be structurally shared with the previous snapshot).
+	cloned := make(map[int]struct{})
+	set := func(sym intern.Sym, p *Posting) {
+		ci := int(sym) >> postChunkBits
+		if _, ok := cloned[ci]; !ok {
+			if ci >= len(s.posts) {
+				grown := make([]*postChunk, ci+1)
+				copy(grown, s.posts)
+				s.posts = grown
+			}
+			nc := new(postChunk)
+			if s.posts[ci] != nil {
+				*nc = *s.posts[ci]
+			}
+			s.posts[ci] = nc
+			cloned[ci] = struct{}{}
+		}
+		if s.posts[ci][int(sym)&(postChunkSize-1)] == nil {
+			s.numBlocks++
+		}
+		s.posts[ci][int(sym)&(postChunkSize-1)] = p
+	}
+	for _, si := range newly {
+		fz := c.store.Frozen(si)
+		if fz == nil {
+			// The shard faulted back in between eviction and now (a locked
+			// probe can do that): serve direct views of the resident blocks.
+			c.store.Range(si, func(key uint32, b *Block) bool {
+				set(intern.Sym(key), freezePosting(intern.Sym(key), b))
+				return true
+			})
+			delete(redirects, si)
+			continue
+		}
+		// Mark every live symbol of the spilled shard via its always-resident
+		// metadata — no disk access on the publish path.
+		c.store.RangeMeta(si, func(key uint32, _ storage.Meta) bool {
+			set(intern.Sym(key), spilledMarker)
+			return true
+		})
+		redirects[si] = &frozenShard{fz: fz}
+	}
+	for _, si := range retire {
+		if _, still := redirects[si]; !still {
+			continue // already handled by the fault-in fallback above
+		}
+		c.store.Range(si, func(key uint32, b *Block) bool {
+			sym := intern.Sym(key)
+			if s.rawPostingOf(sym) == spilledMarker {
+				set(sym, freezePosting(sym, b))
+			}
+			return true
+		})
+		delete(redirects, si)
+	}
 }

@@ -1,0 +1,157 @@
+package blocking
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"pier/internal/intern"
+	"pier/internal/profile"
+	"pier/internal/storage"
+)
+
+// This file is the collection's seam onto internal/storage: the posting index
+// (formerly one map[intern.Sym]*Block per shard) lives behind a generic
+// storage.PostingStore keyed by raw symbol value, sharded exactly like the
+// lock shards (shard of sym is sym & mask). The default backend is the same
+// in-memory map as before; a positive storage.Config.Budget swaps in the
+// disk-spill backend, which keeps cold shards in temp-file gob segments so an
+// unbounded stream runs in bounded RSS. The always-resident storage.Meta per
+// symbol carries the two member counts, so the strategies' meta-only reads —
+// liveness, block sizes, comparison counts — never fault spilled shards in.
+
+// blockResidentBytes approximates the fixed per-block heap cost charged
+// against the storage budget: the Block struct, its map slot, the key header
+// and average key bytes. Members are priced on top, per ID.
+const blockResidentBytes = 96
+
+// blockMemberBytes prices one posting-list member: the 8-byte ID plus
+// amortized slice growth slack.
+const blockMemberBytes = 16
+
+// wireBlock is the gob image of one block inside a spill segment. The key
+// string is not persisted — it is recovered from the collection's symbol
+// table on fault-in, mirroring the checkpoint format (persist.go).
+type wireBlock struct {
+	Sym  uint32
+	A, B []int
+}
+
+// blockCodec serializes one posting shard for the storage layer and prices
+// entries for its budget. It carries the owning collection for the symbol
+// table; the table is append-only and concurrency-safe, so the codec is too.
+type blockCodec struct{ c *Collection }
+
+// Encode writes the shard's blocks sorted by symbol, so segment bytes are
+// reproducible for a given shard state.
+func (bc blockCodec) Encode(w io.Writer, shard map[uint32]*Block) error {
+	wire := make([]wireBlock, 0, len(shard))
+	for sym, b := range shard {
+		wire = append(wire, wireBlock{Sym: sym, A: b.A, B: b.B})
+	}
+	sort.Slice(wire, func(i, j int) bool { return wire[i].Sym < wire[j].Sym })
+	return gob.NewEncoder(w).Encode(wire)
+}
+
+// Decode rebuilds the shard map, re-deriving each key string from the symbol
+// table. Fresh Block values are allocated on every fault-in; pointers taken
+// before an eviction keep serving the pre-eviction image.
+func (bc blockCodec) Decode(r io.Reader) (map[uint32]*Block, error) {
+	var wire []wireBlock
+	if err := gob.NewDecoder(r).Decode(&wire); err != nil {
+		return nil, err
+	}
+	shard := make(map[uint32]*Block, len(wire))
+	for _, wb := range wire {
+		if int(wb.Sym) >= bc.c.tab.Len() {
+			return nil, fmt.Errorf("segment names symbol %d outside table of %d", wb.Sym, bc.c.tab.Len())
+		}
+		if _, dup := shard[wb.Sym]; dup {
+			return nil, fmt.Errorf("segment repeats symbol %d", wb.Sym)
+		}
+		sym := intern.Sym(wb.Sym)
+		shard[wb.Sym] = &Block{Key: bc.c.tab.StringOf(sym), Sym: sym, A: wb.A, B: wb.B}
+	}
+	return shard, nil
+}
+
+func (bc blockCodec) MetaOf(b *Block) storage.Meta {
+	return storage.Meta{A: int32(len(b.A)), B: int32(len(b.B))}
+}
+
+func (bc blockCodec) Size(m storage.Meta) int {
+	return blockResidentBytes + blockMemberBytes*m.Size()
+}
+
+// NewCollectionStorage is NewCollectionSharded with an explicit storage
+// backend selection. A zero config keeps the unbounded in-memory index
+// (exactly NewCollectionSharded); a positive Budget bounds the resident bytes
+// of the posting index, spilling cold shards to temp files under Dir. The
+// backend is a residency knob, never a semantic one: the observable
+// collection state is identical for every config (check.ShardedBatteryStorage
+// pins this). Collections with a spill backend should be Closed when
+// discarded so their temp files are removed promptly.
+func NewCollectionStorage(cleanClean bool, maxBlockSize int, keyer Keyer, shards int, scfg storage.Config) *Collection {
+	if keyer == nil {
+		keyer = func(p *profile.Profile) []string { return p.Tokens() }
+	}
+	n := normalizeShards(shards)
+	c := &Collection{
+		cleanClean:   cleanClean,
+		maxBlockSize: maxBlockSize,
+		keyer:        keyer,
+		tab:          intern.New(1 << 10),
+		shards:       make([]shard, n),
+		mask:         intern.Sym(n - 1),
+		profiles:     make(map[int]*profile.Profile),
+		ofProf:       make(map[int][]intern.Sym),
+	}
+	for i := range c.shards {
+		c.shards[i].purged = make(map[intern.Sym]struct{})
+	}
+	c.store = storage.NewPostingStore[*Block](n, blockCodec{c}, scfg)
+	return c
+}
+
+// getBlock returns the live block of sym, faulting its shard in when spilled.
+func (c *Collection) getBlock(sym intern.Sym) (*Block, bool) {
+	return c.store.Get(int(sym&c.mask), uint32(sym))
+}
+
+// putBlock installs (or refreshes the metadata of) the live block of sym.
+// Every in-place mutation of a block must be followed by putBlock or
+// delBlock — the storage budget is priced off the metadata captured here.
+func (c *Collection) putBlock(sym intern.Sym, b *Block) {
+	c.store.Put(int(sym&c.mask), uint32(sym), b)
+}
+
+// delBlock drops the live block of sym (no-op when absent, without fault-in).
+func (c *Collection) delBlock(sym intern.Sym) {
+	c.store.Delete(int(sym&c.mask), uint32(sym))
+}
+
+// hasBlock reports whether sym has a live block, without fault-in.
+func (c *Collection) hasBlock(sym intern.Sym) bool {
+	return c.store.Contains(int(sym&c.mask), uint32(sym))
+}
+
+// maintainStore lets the spill backend enforce its byte budget at a quiescent
+// point. Once the collection publishes snapshots, eviction moves into
+// PublishSnapshot (finishSnapSpill), which installs segment redirects in the
+// same step so published views never dangle.
+func (c *Collection) maintainStore() {
+	if !c.snapOn {
+		c.store.Maintain()
+	}
+}
+
+// StorageResidentBytes returns the budget-priced resident bytes of the
+// posting index — the number the spill backend holds at or under its budget
+// between Maintain points. The in-memory backend reports its (unbounded)
+// total.
+func (c *Collection) StorageResidentBytes() int64 { return c.store.ResidentBytes() }
+
+// Close releases the storage backend's spill files. Collections on the
+// default in-memory backend need no Close, but calling it is always safe.
+func (c *Collection) Close() error { return c.store.Close() }

@@ -26,33 +26,16 @@ import (
 // final states, and strategies call it per increment under
 // core.Config.CheckInvariants.
 func (c *Collection) Verify() error {
-	for si := range c.shards {
+	for si := 0; si < c.store.NumShards(); si++ {
 		sh := &c.shards[si]
-		for sym, b := range sh.blocks {
-			if b.Sym != sym {
-				return fmt.Errorf("blocking: block stored under symbol %d reports symbol %d", sym, b.Sym)
-			}
-			if sym&c.mask != intern.Sym(si) {
-				return fmt.Errorf("blocking: block %q (symbol %d) stored in shard %d, belongs to %d", b.Key, sym, si, sym&c.mask)
-			}
-			if want := c.tab.StringOf(sym); b.Key != want {
-				return fmt.Errorf("blocking: block stored under %q reports key %q", want, b.Key)
-			}
-			if b.Size() == 0 {
-				return fmt.Errorf("blocking: empty block %q retained", b.Key)
-			}
-			if c.maxBlockSize > 0 && b.Size() > c.maxBlockSize {
-				return fmt.Errorf("blocking: block %q has %d profiles > purge threshold %d", b.Key, b.Size(), c.maxBlockSize)
-			}
-			if _, dead := sh.purged[sym]; dead {
-				return fmt.Errorf("blocking: block %q is both live and purged", b.Key)
-			}
-			if err := c.verifyMembers(b, profile.SourceA, b.A); err != nil {
-				return err
-			}
-			if err := c.verifyMembers(b, profile.SourceB, b.B); err != nil {
-				return err
-			}
+		var err error
+		c.store.Range(si, func(key uint32, b *Block) bool {
+			sym := intern.Sym(key)
+			err = c.verifyBlock(sh, si, sym, b)
+			return err == nil
+		})
+		if err != nil {
+			return err
 		}
 		for sym := range sh.purged {
 			if sym&c.mask != intern.Sym(si) {
@@ -65,7 +48,7 @@ func (c *Collection) Verify() error {
 			return fmt.Errorf("blocking: ofProf entry for unregistered profile %d", id)
 		}
 		for _, sym := range syms {
-			b, live := c.shardOf(sym).blocks[sym]
+			b, live := c.getBlock(sym)
 			if !live {
 				continue // purged after the profile was added: allowed
 			}
@@ -74,7 +57,35 @@ func (c *Collection) Verify() error {
 			}
 		}
 	}
+	c.maintainStore() // Verify faults spilled shards in; trim back to budget
 	return nil
+}
+
+// verifyBlock checks one live block's invariants against the shard it is
+// stored in.
+func (c *Collection) verifyBlock(sh *shard, si int, sym intern.Sym, b *Block) error {
+	if b.Sym != sym {
+		return fmt.Errorf("blocking: block stored under symbol %d reports symbol %d", sym, b.Sym)
+	}
+	if sym&c.mask != intern.Sym(si) {
+		return fmt.Errorf("blocking: block %q (symbol %d) stored in shard %d, belongs to %d", b.Key, sym, si, sym&c.mask)
+	}
+	if want := c.tab.StringOf(sym); b.Key != want {
+		return fmt.Errorf("blocking: block stored under %q reports key %q", want, b.Key)
+	}
+	if b.Size() == 0 {
+		return fmt.Errorf("blocking: empty block %q retained", b.Key)
+	}
+	if c.maxBlockSize > 0 && b.Size() > c.maxBlockSize {
+		return fmt.Errorf("blocking: block %q has %d profiles > purge threshold %d", b.Key, b.Size(), c.maxBlockSize)
+	}
+	if _, dead := sh.purged[sym]; dead {
+		return fmt.Errorf("blocking: block %q is both live and purged", b.Key)
+	}
+	if err := c.verifyMembers(b, profile.SourceA, b.A); err != nil {
+		return err
+	}
+	return c.verifyMembers(b, profile.SourceB, b.B)
 }
 
 // verifyMembers checks one side of a block: registered profiles of the right

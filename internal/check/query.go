@@ -12,6 +12,7 @@ import (
 	"pier/internal/match"
 	"pier/internal/metablocking"
 	"pier/internal/profile"
+	"pier/internal/storage"
 	"pier/internal/stream"
 )
 
@@ -35,6 +36,15 @@ import (
 // fresh copy with ID -1: the query path must key it by content, never by
 // identity in the registry.
 func QueryOracle(cleanClean bool, incs [][]*profile.Profile, nProbes int, seed int64) error {
+	return QueryOracleStorage(cleanClean, incs, nProbes, seed, storage.Config{})
+}
+
+// QueryOracleStorage is QueryOracle with an explicit storage backend for the
+// pipeline under test: with a tight budget the queried index serves most
+// probes out of spilled shards via the snapshot redirect path, while the
+// batch reference stays fully in memory — so subset and completeness both
+// double as spill-backend differential checks.
+func QueryOracleStorage(cleanClean bool, incs [][]*profile.Profile, nProbes int, seed int64, scfg storage.Config) error {
 	matcher := match.NewMatcher(match.JS)
 	l := stream.LiveRun(core.NewIPES(CoreConfig()), stream.LiveConfig{
 		CleanClean:      cleanClean,
@@ -43,8 +53,12 @@ func QueryOracle(cleanClean bool, incs [][]*profile.Profile, nProbes int, seed i
 		Scheme:          metablocking.CBS,
 		Parallelism:     1,
 		CheckInvariants: true,
+		Storage:         scfg,
 	})
-	defer l.Stop()
+	defer func() {
+		l.Stop()
+		l.Close()
+	}()
 	for _, inc := range incs {
 		if err := l.Push(inc); err != nil {
 			return fmt.Errorf("check: QueryOracle: push: %w", err)

@@ -8,6 +8,7 @@ import (
 	"pier/internal/dataset"
 	"pier/internal/pool"
 	"pier/internal/profile"
+	"pier/internal/storage"
 )
 
 // This file holds the sharded-ingest differential oracles: the sharded,
@@ -22,7 +23,15 @@ import (
 // parallel batch ingest — the counterpart of FinalCollection for the sharded
 // path. Purging stays disabled for the same reason as there.
 func ShardedFinalCollection(cleanClean bool, incs [][]*profile.Profile, shards, workers int) *blocking.Collection {
-	col := blocking.NewCollectionSharded(cleanClean, 0, nil, shards)
+	return ShardedFinalCollectionStorage(cleanClean, incs, shards, workers, storage.Config{})
+}
+
+// ShardedFinalCollectionStorage is ShardedFinalCollection with an explicit
+// storage backend for the collection under test: the oracles that compare a
+// spill-backed collection against the in-memory reference build their subject
+// here.
+func ShardedFinalCollectionStorage(cleanClean bool, incs [][]*profile.Profile, shards, workers int, scfg storage.Config) *blocking.Collection {
+	col := blocking.NewCollectionStorage(cleanClean, 0, nil, shards, scfg)
 	w := pool.New(workers)
 	for _, inc := range incs {
 		col.AddBatch(inc, w)
@@ -35,7 +44,15 @@ func ShardedFinalCollection(cleanClean bool, incs [][]*profile.Profile, shards, 
 // increment over a sharded collection, then a full drain. If the sharded index
 // is truly equivalent, the emission sequence matches IngestTrace exactly.
 func ShardedIngestTrace(s core.Strategy, cleanClean bool, incs [][]*profile.Profile, shards, workers int) []Trace {
-	col := blocking.NewCollectionSharded(cleanClean, 0, nil, shards)
+	return ShardedIngestTraceStorage(s, cleanClean, incs, shards, workers, storage.Config{})
+}
+
+// ShardedIngestTraceStorage is ShardedIngestTrace with an explicit storage
+// backend: the strategy sees a collection that spills cold shards, and must
+// still emit the exact serial sequence.
+func ShardedIngestTraceStorage(s core.Strategy, cleanClean bool, incs [][]*profile.Profile, shards, workers int, scfg storage.Config) []Trace {
+	col := blocking.NewCollectionStorage(cleanClean, 0, nil, shards, scfg)
+	defer col.Close()
 	w := pool.New(workers)
 	for _, inc := range incs {
 		col.AddBatch(inc, w)
@@ -109,14 +126,24 @@ func blockKeys(c *blocking.Collection, id int) []string {
 // strings) and the exact strategy drain sequence ⟨X, Y, Weight⟩ over
 // collections built each way. mk constructs a fresh strategy per run.
 func ShardedEquivalence(mk func() core.Strategy, cleanClean bool, incs [][]*profile.Profile, shards, workers int) error {
+	return ShardedEquivalenceStorage(mk, cleanClean, incs, shards, workers, storage.Config{})
+}
+
+// ShardedEquivalenceStorage is ShardedEquivalence with an explicit storage
+// backend on the sharded side only: the serial reference always stays fully
+// in memory, so a non-zero scfg turns the oracle into a differential test of
+// the spill backend itself — any residency-dependent behavior shows up as a
+// divergence from the in-memory reference.
+func ShardedEquivalenceStorage(mk func() core.Strategy, cleanClean bool, incs [][]*profile.Profile, shards, workers int, scfg storage.Config) error {
 	serial := FinalCollection(cleanClean, incs)
-	sharded := ShardedFinalCollection(cleanClean, incs, shards, workers)
+	sharded := ShardedFinalCollectionStorage(cleanClean, incs, shards, workers, scfg)
+	defer sharded.Close()
 	if err := diffCollections("serial Add", serial, fmt.Sprintf("sharded(%d) AddBatch(workers=%d)", shards, workers), sharded); err != nil {
 		return err
 	}
 	s := mk()
 	ref := IngestTrace(s, cleanClean, incs)
-	got := ShardedIngestTrace(mk(), cleanClean, incs, shards, workers)
+	got := ShardedIngestTraceStorage(mk(), cleanClean, incs, shards, workers, scfg)
 	n := len(ref)
 	if len(got) < n {
 		n = len(got)
@@ -140,6 +167,14 @@ func ShardedEquivalence(mk func() core.Strategy, cleanClean bool, incs [][]*prof
 // sides, so even its boundary-sensitive UpdateIndex must trace identically —
 // only the index construction underneath differs.
 func ShardedBattery(ds *dataset.Dataset, splits, shardCounts, workerCounts []int) error {
+	return ShardedBatteryStorage(ds, splits, shardCounts, workerCounts, storage.Config{})
+}
+
+// ShardedBatteryStorage is ShardedBattery with an explicit storage backend on
+// the sharded side — the full strategy × shards × workers matrix asserting
+// that a spill-backed index traces identically to the in-memory serial
+// reference.
+func ShardedBatteryStorage(ds *dataset.Dataset, splits, shardCounts, workerCounts []int, scfg storage.Config) error {
 	if len(splits) == 0 {
 		splits = []int{1, 2, 5, 10}
 	}
@@ -160,7 +195,7 @@ func ShardedBattery(ds *dataset.Dataset, splits, shardCounts, workerCounts []int
 	for _, shards := range shardCounts {
 		for _, workers := range workerCounts {
 			for name, mk := range factories {
-				if err := ShardedEquivalence(mk, ds.CleanClean, incs, shards, workers); err != nil {
+				if err := ShardedEquivalenceStorage(mk, ds.CleanClean, incs, shards, workers, scfg); err != nil {
 					return fmt.Errorf("%s/sharded-equivalence (shards=%d, workers=%d, dataset=%s): %w",
 						name, shards, workers, ds.Name, err)
 				}

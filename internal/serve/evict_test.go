@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"pier/internal/obsv"
+)
+
+// tenantName returns a distinct tenant id for boundary-filling loops.
+func tenantName(i int) string { return fmt.Sprintf("t%04d", i) }
+
+// TestLimiterEvictionTriggersOnlyPastBoundary pins the eviction trigger to
+// the maxTenants boundary exactly: filling the map to maxTenants distinct
+// tenants evicts nothing — even with every bucket refilled — and only the
+// next new tenant runs the sweep.
+func TestLimiterEvictionTriggersOnlyPastBoundary(t *testing.T) {
+	g := NewGate(obsv.NewRegistry(), Config{MaxInFlight: -1, Rate: 1, Burst: 1})
+	now := time.Unix(1000, 0)
+	g.lim.now = func() time.Time { return now }
+
+	for i := 0; i < maxTenants; i++ {
+		r, err := g.Admit(tenantName(i))
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		r()
+	}
+	// Long idle: every bucket is back at full burst and thus evictable, but
+	// no admission has crossed the boundary — the map must be untouched.
+	now = now.Add(time.Hour)
+	if n := len(g.lim.buckets); n != maxTenants {
+		t.Fatalf("bucket map = %d entries at the boundary, want %d untouched", n, maxTenants)
+	}
+	r, err := g.Admit("one-past-boundary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r()
+	if n := len(g.lim.buckets); n != 1 {
+		t.Errorf("bucket map = %d entries after the boundary sweep, want only the new tenant", n)
+	}
+}
+
+// TestLimiterEvictionSparesMidBurstTenants drives the sweep over a map where
+// half the tenants are refilled and half are mid-burst: only the refilled
+// half may be evicted (their state is indistinguishable from fresh buckets),
+// the mid-burst half must keep its partial tokens, and an evicted tenant
+// returning gets a fresh full burst.
+func TestLimiterEvictionSparesMidBurstTenants(t *testing.T) {
+	g := NewGate(obsv.NewRegistry(), Config{MaxInFlight: -1, Rate: 1, Burst: 1})
+	now := time.Unix(1000, 0)
+	g.lim.now = func() time.Time { return now }
+
+	// First half drains its burst at t=0: refilled (evictable) one second
+	// later. Second half drains at t=1s: still half-full at the sweep.
+	for i := 0; i < maxTenants/2; i++ {
+		r, err := g.Admit(tenantName(i))
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		r()
+	}
+	now = now.Add(time.Second)
+	for i := maxTenants / 2; i < maxTenants; i++ {
+		r, err := g.Admit(tenantName(i))
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		r()
+	}
+	now = now.Add(500 * time.Millisecond)
+
+	r, err := g.Admit("sweeper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r()
+	if n, want := len(g.lim.buckets), maxTenants/2+1; n != want {
+		t.Errorf("bucket map = %d entries after the sweep, want %d (mid-burst half plus the new tenant)", n, want)
+	}
+	// A survivor still owes time: its half-refilled bucket rejects.
+	if _, err := g.Admit(tenantName(maxTenants - 1)); !errors.Is(err, ErrRateLimited) {
+		t.Errorf("mid-burst survivor: err = %v, want ErrRateLimited (partial tokens must survive the sweep)", err)
+	}
+	// An evicted tenant is indistinguishable from a new one: full burst.
+	if r, err := g.Admit(tenantName(0)); err != nil {
+		t.Errorf("evicted tenant re-admitted: %v, want a fresh full burst", err)
+	} else {
+		r()
+	}
+}
+
+// TestLimiterEvictionMayOvershootWhenAllMidBurst pins the documented escape
+// hatch: when every tenant is mid-burst the sweep finds nothing to evict and
+// the map briefly exceeds maxTenants — the bound is a memory guard against
+// abandoned buckets, never an admission rule, so the new tenant is still
+// served.
+func TestLimiterEvictionMayOvershootWhenAllMidBurst(t *testing.T) {
+	g := NewGate(obsv.NewRegistry(), Config{MaxInFlight: -1, Rate: 1, Burst: 2})
+	now := time.Unix(1000, 0)
+	g.lim.now = func() time.Time { return now }
+
+	for i := 0; i < maxTenants; i++ {
+		r, err := g.Admit(tenantName(i))
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		r()
+	}
+	// No time passes: every bucket holds 1 of 2 tokens, nothing is evictable.
+	r, err := g.Admit("overflow-tenant")
+	if err != nil {
+		t.Fatalf("new tenant must be admitted even when nothing is evictable: %v", err)
+	}
+	r()
+	if n, want := len(g.lim.buckets), maxTenants+1; n != want {
+		t.Errorf("bucket map = %d entries, want %d (overshoot by exactly the new tenant)", n, want)
+	}
+	// The mid-burst tenants kept their state through the failed sweep.
+	if r, err := g.Admit(tenantName(7)); err != nil {
+		t.Errorf("mid-burst tenant lost its second token: %v", err)
+	} else {
+		r()
+	}
+	if _, err := g.Admit(tenantName(7)); !errors.Is(err, ErrRateLimited) {
+		t.Errorf("drained tenant: err = %v, want ErrRateLimited", err)
+	}
+}

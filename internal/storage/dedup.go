@@ -1,0 +1,499 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// DedupStore is the executed-pair set of the live stream: a set of uint64
+// pair keys with exact membership semantics (no false positives or
+// negatives) under either backend. Implementations add no locking — the
+// store is owned by the stream's loop goroutine, exactly like the map it
+// replaces.
+type DedupStore interface {
+	// Has reports whether key is in the set.
+	Has(key uint64) bool
+	// Add inserts key; present keys are a no-op.
+	Add(key uint64)
+	// Delete removes key; absent keys are a no-op.
+	Delete(key uint64)
+	// Len returns the exact number of keys in the set.
+	Len() int
+	// Range calls fn for every key until fn returns false, in unspecified
+	// order. fn must not mutate the store.
+	Range(fn func(key uint64) bool)
+	// Close releases spill files. The store must not be used afterwards.
+	Close() error
+}
+
+// NewDedupStore returns the backend selected by cfg: a plain map for a zero
+// config, the LSM-style spill set for a positive budget.
+func NewDedupStore(cfg Config) DedupStore {
+	if cfg.Enabled() {
+		return newSpillDedup(cfg)
+	}
+	return make(memDedup)
+}
+
+// memDedup is the default backend — the executed map as it always was.
+type memDedup map[uint64]struct{}
+
+func (d memDedup) Has(key uint64) bool { _, ok := d[key]; return ok }
+func (d memDedup) Add(key uint64)      { d[key] = struct{}{} }
+func (d memDedup) Delete(key uint64)   { delete(d, key) }
+func (d memDedup) Len() int            { return len(d) }
+func (d memDedup) Range(fn func(key uint64) bool) {
+	for k := range d {
+		if !fn(k) {
+			return
+		}
+	}
+}
+func (d memDedup) Close() error { return nil }
+
+// spillDedup bounds the resident set LSM-style: recent keys live in an
+// in-memory active map; when the active set (plus tombstones) outgrows its
+// share of the budget it is sealed into an immutable sorted segment of raw
+// big-endian uint64s on disk. Lookups consult the active map, then the
+// tombstone map, then each segment — guarded by an in-memory bloom bitset
+// and fence index per segment, so a miss almost never touches disk and a
+// hit costs one bounded ReadAt. Deletes of sealed keys become tombstones;
+// when tombstones pile up or segments proliferate, everything is merged
+// into one segment and the tombstones drop.
+//
+// Resident overhead per sealed key is ~1.5 bytes (10 bloom bits + one fence
+// word per 64 keys) — the part of the set that cannot spill; the budget
+// proper prices the active and tombstone maps.
+//
+// Membership is exact: blooms only short-circuit misses, and segment reads
+// finish with a binary search over the sorted keys. Invariants: a key lives
+// in the active map or in at most one segment, never both; tombstones only
+// name sealed keys.
+type spillDedup struct {
+	dir    string // own temp dir, created at first seal
+	parent string
+	sealAt int // seal the active set at this many active+tombstone keys
+
+	active map[uint64]struct{}
+	tombs  map[uint64]struct{}
+	segs   []*dedupSeg
+	n      int // exact live count
+	closed bool
+}
+
+// dedupEntryCost approximates the resident bytes of one key in a Go map —
+// the unit the budget is priced in.
+const dedupEntryCost = 48
+
+// maxDedupSegs bounds the per-lookup bloom cascade; exceeding it triggers a
+// full merge.
+const maxDedupSegs = 16
+
+func newSpillDedup(cfg Config) *spillDedup {
+	sealAt := int(cfg.Budget / dedupEntryCost)
+	if sealAt < 1024 {
+		sealAt = 1024
+	}
+	return &spillDedup{
+		parent: cfg.Dir,
+		sealAt: sealAt,
+		active: make(map[uint64]struct{}),
+		tombs:  make(map[uint64]struct{}),
+	}
+}
+
+func (d *spillDedup) Has(key uint64) bool {
+	if _, ok := d.active[key]; ok {
+		return true
+	}
+	if _, ok := d.tombs[key]; ok {
+		return false
+	}
+	return d.inSegs(key)
+}
+
+func (d *spillDedup) Add(key uint64) {
+	if _, ok := d.active[key]; ok {
+		return
+	}
+	if _, ok := d.tombs[key]; ok {
+		// The sealed copy becomes live again; no second copy needed.
+		delete(d.tombs, key)
+		d.n++
+		return
+	}
+	if d.inSegs(key) {
+		return
+	}
+	d.active[key] = struct{}{}
+	d.n++
+	d.maintain()
+}
+
+func (d *spillDedup) Delete(key uint64) {
+	if _, ok := d.active[key]; ok {
+		delete(d.active, key)
+		d.n--
+		return
+	}
+	if _, ok := d.tombs[key]; ok {
+		return
+	}
+	if d.inSegs(key) {
+		d.tombs[key] = struct{}{}
+		d.n--
+		d.maintain()
+	}
+}
+
+func (d *spillDedup) Len() int { return d.n }
+
+func (d *spillDedup) Range(fn func(key uint64) bool) {
+	for k := range d.active {
+		if !fn(k) {
+			return
+		}
+	}
+	for _, sg := range d.segs {
+		done := false
+		sg.scan(func(key uint64) bool {
+			if _, dead := d.tombs[key]; dead {
+				return true
+			}
+			if !fn(key) {
+				done = true
+				return false
+			}
+			return true
+		})
+		if done {
+			return
+		}
+	}
+}
+
+func (d *spillDedup) Close() error {
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	for _, sg := range d.segs {
+		sg.f.Close()
+		os.Remove(sg.path)
+	}
+	d.segs = nil
+	if d.dir != "" {
+		return os.RemoveAll(d.dir)
+	}
+	return nil
+}
+
+func (d *spillDedup) inSegs(key uint64) bool {
+	// Newest first: recent keys are the likelier hits.
+	for i := len(d.segs) - 1; i >= 0; i-- {
+		if d.segs[i].contains(key) {
+			return true
+		}
+	}
+	return false
+}
+
+// maintain seals an over-budget active set and merges when segments or
+// tombstones pile up.
+func (d *spillDedup) maintain() {
+	if len(d.active)+len(d.tombs) >= d.sealAt {
+		d.seal()
+	}
+	sealed := 0
+	for _, sg := range d.segs {
+		sealed += sg.count
+	}
+	if len(d.segs) > maxDedupSegs || (sealed > 0 && len(d.tombs)*4 > sealed) {
+		d.merge()
+	}
+}
+
+// seal freezes the active set into a sorted segment.
+func (d *spillDedup) seal() {
+	if len(d.active) == 0 {
+		return
+	}
+	keys := make([]uint64, 0, len(d.active))
+	for k := range d.active {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	sg, err := d.writeSeg(len(keys), func(yield func(uint64)) {
+		for _, k := range keys {
+			yield(k)
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("storage: sealing dedup segment: %v", err))
+	}
+	d.segs = append(d.segs, sg)
+	d.active = make(map[uint64]struct{})
+}
+
+// merge rewrites every segment into one, dropping tombstoned keys. Segments
+// hold disjoint key sets, so the merge is a plain k-way minimum take.
+func (d *spillDedup) merge() {
+	if len(d.segs) == 0 {
+		return
+	}
+	total := 0
+	for _, sg := range d.segs {
+		total += sg.count
+	}
+	count := total - len(d.tombs)
+	cursors := make([]*segCursor, len(d.segs))
+	for i, sg := range d.segs {
+		cursors[i] = sg.cursor()
+	}
+	merged, err := d.writeSeg(count, func(yield func(uint64)) {
+		for {
+			best := -1
+			for i, cur := range cursors {
+				if !cur.valid {
+					continue
+				}
+				if best < 0 || cur.head < cursors[best].head {
+					best = i
+				}
+			}
+			if best < 0 {
+				return
+			}
+			k := cursors[best].head
+			cursors[best].next()
+			if _, dead := d.tombs[k]; dead {
+				continue
+			}
+			yield(k)
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("storage: merging dedup segments: %v", err))
+	}
+	for _, sg := range d.segs {
+		sg.f.Close()
+		os.Remove(sg.path)
+	}
+	if merged.count == 0 {
+		merged.f.Close()
+		os.Remove(merged.path)
+		d.segs = d.segs[:0]
+	} else {
+		d.segs = append(d.segs[:0], merged)
+	}
+	d.tombs = make(map[uint64]struct{})
+}
+
+// writeSeg streams count ascending keys from emit into a new segment file,
+// building the bloom bitset and fence index as it goes.
+func (d *spillDedup) writeSeg(count int, emit func(yield func(uint64))) (*dedupSeg, error) {
+	if d.dir == "" {
+		parent := d.parent
+		if parent == "" {
+			parent = os.TempDir()
+		}
+		dir, err := os.MkdirTemp(parent, "pier-dedup-")
+		if err != nil {
+			return nil, err
+		}
+		d.dir = dir
+	}
+	f, err := os.CreateTemp(d.dir, "dedup-*.seg")
+	if err != nil {
+		return nil, err
+	}
+	sg := newDedupSeg(f, count)
+	w := bufio.NewWriter(f)
+	var werr error
+	i := 0
+	var buf [8]byte
+	emit(func(key uint64) {
+		if werr != nil {
+			return
+		}
+		sg.index(i, key)
+		binary.BigEndian.PutUint64(buf[:], key)
+		if _, err := w.Write(buf[:]); err != nil {
+			werr = err
+		}
+		i++
+	})
+	if werr == nil {
+		werr = w.Flush()
+	}
+	if werr != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, werr
+	}
+	if i != count {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, fmt.Errorf("segment writer emitted %d keys, expected %d", i, count)
+	}
+	return sg, nil
+}
+
+// fenceStride is the number of keys per fence pointer: a positive segment
+// probe reads at most one stride-sized block.
+const fenceStride = 64
+
+// dedupSeg is one immutable sorted run of uint64 keys with its resident
+// probe accelerators.
+type dedupSeg struct {
+	f        *os.File
+	path     string
+	count    int
+	bloom    []uint64
+	bloomLen uint64 // bits, power of two
+	fences   []uint64
+	min, max uint64
+}
+
+func newDedupSeg(f *os.File, count int) *dedupSeg {
+	bits := uint64(64)
+	for bits < uint64(count)*10 {
+		bits <<= 1
+	}
+	return &dedupSeg{
+		f:        f,
+		path:     f.Name(),
+		count:    count,
+		bloom:    make([]uint64, bits/64),
+		bloomLen: bits,
+		fences:   make([]uint64, 0, count/fenceStride+1),
+	}
+}
+
+// index records key (the i-th ascending key of the segment) into the bloom
+// and fence structures at write time.
+func (sg *dedupSeg) index(i int, key uint64) {
+	if i == 0 {
+		sg.min = key
+	}
+	sg.max = key
+	if i%fenceStride == 0 {
+		sg.fences = append(sg.fences, key)
+	}
+	h1, h2 := mix64(key), mix64(key^0x9e3779b97f4a7c15)|1
+	for k := uint64(0); k < 7; k++ {
+		bit := (h1 + k*h2) & (sg.bloomLen - 1)
+		sg.bloom[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+func (sg *dedupSeg) bloomHas(key uint64) bool {
+	h1, h2 := mix64(key), mix64(key^0x9e3779b97f4a7c15)|1
+	for k := uint64(0); k < 7; k++ {
+		bit := (h1 + k*h2) & (sg.bloomLen - 1)
+		if sg.bloom[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// contains is the exact membership probe: range check, bloom, fence-guided
+// block read, binary search within the block.
+func (sg *dedupSeg) contains(key uint64) bool {
+	if sg.count == 0 || key < sg.min || key > sg.max {
+		return false
+	}
+	if !sg.bloomHas(key) {
+		return false
+	}
+	fi := sort.Search(len(sg.fences), func(i int) bool { return sg.fences[i] > key }) - 1
+	if fi < 0 {
+		return false
+	}
+	base := fi * fenceStride
+	n := fenceStride
+	if base+n > sg.count {
+		n = sg.count - base
+	}
+	var block [fenceStride * 8]byte
+	if _, err := sg.f.ReadAt(block[:n*8], int64(base)*8); err != nil {
+		panic(fmt.Sprintf("storage: dedup segment read %s: %v", sg.path, err))
+	}
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		v := binary.BigEndian.Uint64(block[mid*8:])
+		switch {
+		case v == key:
+			return true
+		case v < key:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return false
+}
+
+// scan streams the segment's keys in ascending order.
+func (sg *dedupSeg) scan(fn func(key uint64) bool) {
+	r := bufio.NewReader(io.NewSectionReader(sg.f, 0, int64(sg.count)*8))
+	var buf [8]byte
+	for i := 0; i < sg.count; i++ {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			panic(fmt.Sprintf("storage: dedup segment scan %s: %v", sg.path, err))
+		}
+		if !fn(binary.BigEndian.Uint64(buf[:])) {
+			return
+		}
+	}
+}
+
+// segCursor streams one segment for merging.
+type segCursor struct {
+	r     *bufio.Reader
+	left  int
+	head  uint64
+	valid bool
+	path  string
+}
+
+func (sg *dedupSeg) cursor() *segCursor {
+	c := &segCursor{
+		r:    bufio.NewReader(io.NewSectionReader(sg.f, 0, int64(sg.count)*8)),
+		left: sg.count,
+		path: sg.path,
+	}
+	c.next()
+	return c
+}
+
+func (c *segCursor) next() {
+	if c.left == 0 {
+		c.valid = false
+		return
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(c.r, buf[:]); err != nil {
+		panic(fmt.Sprintf("storage: dedup segment merge read %s: %v", c.path, err))
+	}
+	c.head = binary.BigEndian.Uint64(buf[:])
+	c.left--
+	c.valid = true
+}
+
+// mix64 is the SplitMix64 finalizer — a cheap, well-distributed 64-bit
+// mixer for the bloom's double hashing.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,420 @@
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// This file is the memory-bounded PostingStore backend: shard maps live in
+// memory while they fit the byte budget and spill to immutable temp-file gob
+// segments when they don't, with least-recently-used shard residency. A
+// spilled shard's per-key Meta map stays resident, so existence, size, and
+// count queries (the strategies' hot read paths) never touch disk; only
+// value access (Get, Put, Range) faults a shard back in.
+//
+// Segments are write-once: a shard eviction encodes the whole shard into a
+// fresh temp file, and any mutation after fault-in marks the old segment
+// stale so the next eviction rewrites it. Frozen handles hold their own file
+// descriptor on a segment, so the RCU snapshot layer can keep serving a
+// retired segment after the store has replaced or unlinked it (the file data
+// lives until the last descriptor closes).
+//
+// Disk faults are unrecoverable data loss for spilled state, so read and
+// write errors panic with a "storage:" message instead of limping on with a
+// silently truncated index.
+
+// segMagic heads every spill segment so a foreign or torn file fails fast.
+var segMagic = [4]byte{'P', 'S', 'G', '1'}
+
+// encodeSegment writes the segment framing (magic + codec payload) for one
+// shard map.
+func encodeSegment[V any](w io.Writer, codec Codec[V], shard map[uint32]V) error {
+	if _, err := w.Write(segMagic[:]); err != nil {
+		return err
+	}
+	return codec.Encode(w, shard)
+}
+
+// decodeSegment reads back what encodeSegment wrote.
+func decodeSegment[V any](r io.Reader, codec Codec[V]) (map[uint32]V, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != segMagic {
+		return nil, fmt.Errorf("bad segment magic %q", magic[:])
+	}
+	return codec.Decode(r)
+}
+
+// segment is one immutable on-disk image of a shard. The store holds f for
+// its own fault-ins; Frozen handles open the path independently.
+type segment struct {
+	f    *os.File
+	path string
+	size int64
+}
+
+// release closes and unlinks the segment. Frozen descriptors opened earlier
+// keep the data alive.
+func (sg *segment) release() {
+	sg.f.Close()
+	os.Remove(sg.path)
+}
+
+// Frozen is an immutable read handle on one spill segment, independent of
+// the store's own lifecycle: it owns a private descriptor, so it keeps
+// serving the segment's contents after the shard faults back in, re-spills,
+// or the store closes. Dropped handles are closed by a finalizer.
+type Frozen[V any] struct {
+	f     *os.File
+	size  int64
+	codec Codec[V]
+}
+
+// Load decodes the full shard image the handle points at. Each call decodes
+// afresh; callers cache the result (the RCU layer memoizes per snapshot).
+// Safe for concurrent use.
+func (fz *Frozen[V]) Load() (map[uint32]V, error) {
+	r := bufio.NewReader(io.NewSectionReader(fz.f, 0, fz.size))
+	m, err := decodeSegment(r, fz.codec)
+	runtime.KeepAlive(fz)
+	return m, err
+}
+
+// spillShard is the residency state of one shard.
+type spillShard[V any] struct {
+	data map[uint32]V // nil while spilled
+	// meta stays resident across spills; it is the source of truth for
+	// existence and sizing.
+	meta map[uint32]Meta
+	// bytes is the budget-priced size of the shard's entries (resident or
+	// not).
+	bytes int64
+	// seg is the latest on-disk image; segClean reports whether it still
+	// matches data (a clean resident shard re-evicts without re-encoding).
+	seg      *segment
+	segClean bool
+	lastUse  int64
+}
+
+// spillStore is the budgeted backend. One leaf mutex serializes every call:
+// residency, the byte budget, and the LRU clock are global state, and the
+// store sits below the blocking collection's locks in the lock order.
+type spillStore[V any] struct {
+	codec  Codec[V]
+	budget int64
+	parent string // configured parent dir; own subdir is created lazily
+
+	mu       sync.Mutex
+	dir      string // "" until the first eviction
+	shards   []spillShard[V]
+	resident int64 // priced bytes of resident shards only
+	clock    int64
+	spilled  map[int]struct{} // evictions since the last TakeSpilled
+	closed   bool
+}
+
+func newSpillStore[V any](shards int, codec Codec[V], cfg Config) *spillStore[V] {
+	s := &spillStore[V]{
+		codec:   codec,
+		budget:  cfg.Budget,
+		parent:  cfg.Dir,
+		shards:  make([]spillShard[V], shards),
+		spilled: make(map[int]struct{}),
+	}
+	for i := range s.shards {
+		s.shards[i].data = make(map[uint32]V, 64)
+		s.shards[i].meta = make(map[uint32]Meta, 64)
+	}
+	return s
+}
+
+func (s *spillStore[V]) NumShards() int { return len(s.shards) }
+
+// touch advances the LRU clock for the shard.
+func (s *spillStore[V]) touch(sh *spillShard[V]) {
+	s.clock++
+	sh.lastUse = s.clock
+}
+
+// ensureResident faults the shard in from its segment if needed. The
+// segment is kept (clean) so an unmutated shard can re-evict for free.
+func (s *spillStore[V]) ensureResident(si int) *spillShard[V] {
+	sh := &s.shards[si]
+	if sh.data == nil {
+		r := bufio.NewReader(io.NewSectionReader(sh.seg.f, 0, sh.seg.size))
+		m, err := decodeSegment(r, s.codec)
+		if err != nil {
+			panic(fmt.Sprintf("storage: fault-in of spilled shard %d from %s: %v", si, sh.seg.path, err))
+		}
+		sh.data = m
+		sh.segClean = true
+		s.resident += sh.bytes
+	}
+	return sh
+}
+
+// invalidateSeg marks the shard's segment stale after a mutation. The file
+// itself stays until the next eviction replaces it (a Frozen handle may
+// still be reading it).
+func (s *spillStore[V]) invalidateSeg(sh *spillShard[V]) { sh.segClean = false }
+
+func (s *spillStore[V]) Get(shard int, key uint32) (V, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := &s.shards[shard]
+	if _, ok := sh.meta[key]; !ok {
+		var zero V
+		return zero, false
+	}
+	sh = s.ensureResident(shard)
+	s.touch(sh)
+	return sh.data[key], true
+}
+
+func (s *spillStore[V]) Put(shard int, key uint32, v V) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := s.ensureResident(shard)
+	s.touch(sh)
+	nm := s.codec.MetaOf(v)
+	delta := int64(s.codec.Size(nm))
+	if om, ok := sh.meta[key]; ok {
+		delta -= int64(s.codec.Size(om))
+	}
+	sh.data[key] = v
+	sh.meta[key] = nm
+	sh.bytes += delta
+	s.resident += delta
+	s.invalidateSeg(sh)
+}
+
+func (s *spillStore[V]) Delete(shard int, key uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := &s.shards[shard]
+	om, ok := sh.meta[key]
+	if !ok {
+		return
+	}
+	sh = s.ensureResident(shard)
+	s.touch(sh)
+	sz := int64(s.codec.Size(om))
+	delete(sh.data, key)
+	delete(sh.meta, key)
+	sh.bytes -= sz
+	s.resident -= sz
+	s.invalidateSeg(sh)
+}
+
+func (s *spillStore[V]) Contains(shard int, key uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.shards[shard].meta[key]
+	return ok
+}
+
+func (s *spillStore[V]) Meta(shard int, key uint32) (Meta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.shards[shard].meta[key]
+	return m, ok
+}
+
+func (s *spillStore[V]) Len(shard int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.shards[shard].meta)
+}
+
+// Range snapshots the shard's entries under the mutex and runs fn outside
+// it, so fn may (unlike the interface's general contract) take as long as it
+// likes without blocking concurrent probes — though it still must not call
+// back into mutating store methods, per the owner contract.
+func (s *spillStore[V]) Range(shard int, fn func(key uint32, v V) bool) {
+	type kv struct {
+		k uint32
+		v V
+	}
+	s.mu.Lock()
+	sh := s.ensureResident(shard)
+	s.touch(sh)
+	entries := make([]kv, 0, len(sh.data))
+	for k, v := range sh.data {
+		entries = append(entries, kv{k, v})
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		if !fn(e.k, e.v) {
+			return
+		}
+	}
+}
+
+func (s *spillStore[V]) RangeMeta(shard int, fn func(key uint32, m Meta) bool) {
+	type km struct {
+		k uint32
+		m Meta
+	}
+	s.mu.Lock()
+	sh := &s.shards[shard]
+	entries := make([]km, 0, len(sh.meta))
+	for k, m := range sh.meta {
+		entries = append(entries, km{k, m})
+	}
+	s.mu.Unlock()
+	for _, e := range entries {
+		if !fn(e.k, e.m) {
+			return
+		}
+	}
+}
+
+// Maintain evicts least-recently-used resident shards until resident bytes
+// fit the budget. Owner-only, at quiescent points.
+func (s *spillStore[V]) Maintain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.resident > s.budget {
+		victim := -1
+		for i := range s.shards {
+			sh := &s.shards[i]
+			if sh.data == nil || sh.bytes == 0 {
+				continue
+			}
+			if victim < 0 || sh.lastUse < s.shards[victim].lastUse {
+				victim = i
+			}
+		}
+		if victim < 0 {
+			return
+		}
+		s.evict(victim)
+	}
+}
+
+// evict writes the shard to a segment (reusing a clean one) and drops the
+// resident map. Caller holds s.mu.
+func (s *spillStore[V]) evict(si int) {
+	sh := &s.shards[si]
+	if sh.seg == nil || !sh.segClean {
+		seg, err := s.writeSegment(sh.data)
+		if err != nil {
+			panic(fmt.Sprintf("storage: spill of shard %d: %v", si, err))
+		}
+		if sh.seg != nil {
+			sh.seg.release()
+		}
+		sh.seg = seg
+		sh.segClean = true
+	}
+	sh.data = nil
+	s.resident -= sh.bytes
+	s.spilled[si] = struct{}{}
+}
+
+// writeSegment encodes one shard map into a fresh temp file under the
+// store's spill directory (created on first use). Caller holds s.mu.
+func (s *spillStore[V]) writeSegment(shard map[uint32]V) (*segment, error) {
+	if s.dir == "" {
+		parent := s.parent
+		if parent == "" {
+			parent = os.TempDir()
+		}
+		dir, err := os.MkdirTemp(parent, "pier-spill-")
+		if err != nil {
+			return nil, err
+		}
+		s.dir = dir
+	}
+	f, err := os.CreateTemp(s.dir, "shard-*.seg")
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriter(f)
+	if err := encodeSegment(w, s.codec, shard); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, err
+	}
+	return &segment{f: f, path: f.Name(), size: info.Size()}, nil
+}
+
+func (s *spillStore[V]) Spilled(shard int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shards[shard].data == nil
+}
+
+func (s *spillStore[V]) Frozen(shard int) *Frozen[V] {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh := &s.shards[shard]
+	if sh.data != nil || sh.seg == nil {
+		return nil
+	}
+	f, err := os.Open(sh.seg.path)
+	if err != nil {
+		panic(fmt.Sprintf("storage: reopening segment %s: %v", sh.seg.path, err))
+	}
+	fz := &Frozen[V]{f: f, size: sh.seg.size, codec: s.codec}
+	runtime.SetFinalizer(fz, func(fz *Frozen[V]) { fz.f.Close() })
+	return fz
+}
+
+func (s *spillStore[V]) TakeSpilled() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.spilled) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(s.spilled))
+	for si := range s.spilled {
+		out = append(out, si)
+	}
+	clear(s.spilled)
+	sort.Ints(out)
+	return out
+}
+
+func (s *spillStore[V]) ResidentBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resident
+}
+
+func (s *spillStore[V]) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for i := range s.shards {
+		if sg := s.shards[i].seg; sg != nil {
+			sg.release()
+			s.shards[i].seg = nil
+		}
+	}
+	if s.dir != "" {
+		return os.RemoveAll(s.dir)
+	}
+	return nil
+}

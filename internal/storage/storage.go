@@ -1,0 +1,247 @@
+// Package storage is the pluggable persistence substrate under the blocking
+// index and the stream's executed-pair dedup set. It exists so the paper's
+// incremental setting — streams that never end — can run in bounded RSS: the
+// default backend keeps everything in process memory exactly as before, and
+// the memory-bounded backend spills cold shards to immutable temp-file gob
+// segments under a fixed byte budget with LRU shard residency (spill.go) and
+// keeps the dedup set in an LSM-style active-set + sorted-segment layout
+// (dedup.go).
+//
+// The package is deliberately stdlib-only and knows nothing about blocks,
+// profiles, or symbols: PostingStore is generic over the value type and the
+// owner supplies a Codec that serializes one shard's map and prices entries
+// for the budget. That dependency inversion is what internal/arch enforces —
+// substrates must not reach upward into domain packages.
+//
+// Concurrency contract: PostingStore implementations do not add locking of
+// their own beyond what spilling itself needs. The in-memory backend is a
+// plain sharded map and inherits the caller's discipline (the blocking
+// collection's single-writer contract plus its shard mutexes); the spill
+// backend serializes every call on one internal leaf mutex because residency
+// and the byte budget are global state. Callers must never re-enter the store
+// from a Range/RangeMeta callback. Eviction happens only inside Maintain —
+// Get and Put fault shards in but never out — so pointers obtained between
+// two Maintain calls stay backed by resident state.
+package storage
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Config selects and tunes the storage backend.
+type Config struct {
+	// Budget is the approximate resident-byte budget in bytes. <= 0 selects
+	// the unbounded in-memory backend; > 0 selects the spill backend, which
+	// keeps resident posting shards (or the dedup active set) at or under
+	// the budget and spills the excess to disk. The budget prices the bulk
+	// data (posting-list members, dedup keys); small always-resident
+	// bookkeeping — per-key metadata, bloom filters, fence indexes — rides
+	// on top and is documented per backend.
+	Budget int64
+	// Dir is the parent directory for spill files; empty means the system
+	// temp directory. Each store creates (and removes on Close) its own
+	// subdirectory, so concurrent stores never collide.
+	Dir string
+}
+
+// Enabled reports whether the config selects the memory-bounded spill
+// backend.
+func (c Config) Enabled() bool { return c.Budget > 0 }
+
+// Meta is the always-resident per-entry metadata of a PostingStore: the two
+// per-source member counts of a posting list. It answers size, liveness, and
+// comparison-count queries without faulting spilled shards in, which keeps
+// the strategies' sorted-scan and weighting paths from thrashing the budget.
+type Meta struct {
+	// A and B are the per-source member counts (B is 0 for dirty ER).
+	A, B int32
+}
+
+// Size returns the number of members the entry holds.
+func (m Meta) Size() int { return int(m.A) + int(m.B) }
+
+// Comparisons returns the pairwise comparison count of the entry, mirroring
+// the blocking layer's ||b|| measure: |A|·|B| for Clean-Clean, n(n-1)/2 for
+// Dirty.
+func (m Meta) Comparisons(cleanClean bool) int {
+	if cleanClean {
+		return int(m.A) * int(m.B)
+	}
+	n := m.Size()
+	return n * (n - 1) / 2
+}
+
+// Codec serializes one shard of values and prices entries for the byte
+// budget. Implementations must be safe for concurrent use (they are called
+// from AddBatch shard workers) and Encode must be deterministic for a given
+// map so spill segments are reproducible.
+type Codec[V any] interface {
+	// Encode writes the shard's entries to w.
+	Encode(w io.Writer, shard map[uint32]V) error
+	// Decode reads back what Encode wrote.
+	Decode(r io.Reader) (map[uint32]V, error)
+	// MetaOf extracts the resident metadata of a value. It is captured at
+	// Put time, so values mutated in place must be re-Put (see
+	// PostingStore.Put).
+	MetaOf(v V) Meta
+	// Size estimates the resident bytes of an entry with the given metadata.
+	// The estimate, not the value itself, is what the budget meters —
+	// values are routinely mutated in place between Put calls.
+	Size(m Meta) int
+}
+
+// PostingStore is a sharded key→value store with an optional resident-byte
+// budget. Shard indices are assigned by the caller (the blocking collection
+// uses sym & mask, matching its lock shards); keys are the raw symbol values.
+//
+// Mutation protocol: values may be mutated in place by the owner, but every
+// mutation must be followed by Put (or Delete) before the next Maintain, so
+// the store can refresh metadata and mark spill segments stale. Get never
+// evicts; only Maintain does.
+type PostingStore[V any] interface {
+	// NumShards returns the shard count fixed at construction.
+	NumShards() int
+	// Get returns the value under key, faulting the shard in if it is
+	// spilled. A key absent from the shard returns the zero value and false
+	// without any fault-in (metadata is always resident).
+	Get(shard int, key uint32) (V, bool)
+	// Put inserts or replaces the value under key and refreshes its
+	// metadata. Putting into a spilled shard faults it in first.
+	Put(shard int, key uint32, v V)
+	// Delete removes the key if present (faulting the shard in when needed);
+	// absent keys are a no-op without fault-in.
+	Delete(shard int, key uint32)
+	// Contains reports whether the key is present, without fault-in.
+	Contains(shard int, key uint32) bool
+	// Meta returns the key's resident metadata, without fault-in.
+	Meta(shard int, key uint32) (Meta, bool)
+	// Len returns the number of entries in the shard, without fault-in.
+	Len(shard int) int
+	// Range calls fn for every entry of the shard (faulting it in) until fn
+	// returns false. Iteration order is unspecified. fn must not call back
+	// into the store.
+	Range(shard int, fn func(key uint32, v V) bool)
+	// RangeMeta is Range over the resident metadata only — never faults.
+	RangeMeta(shard int, fn func(key uint32, m Meta) bool)
+	// Maintain enforces the byte budget, evicting least-recently-used
+	// resident shards to disk until resident bytes fit. Only the owner
+	// goroutine calls it, at quiescent points (never during an AddBatch
+	// fan-out). A no-op for the in-memory backend.
+	Maintain()
+	// Spilled reports whether the shard currently lives on disk only.
+	Spilled(shard int) bool
+	// Frozen returns an immutable handle on the shard's current spill
+	// segment, or nil if the shard is resident. The handle stays readable
+	// even after the shard faults back in or re-spills (it owns its own
+	// file descriptor); the RCU snapshot path uses it to serve reads from
+	// retired segments.
+	Frozen(shard int) *Frozen[V]
+	// TakeSpilled returns the sorted indices of shards evicted since the
+	// previous TakeSpilled call and resets the log. The publish path uses
+	// it to redirect snapshot entries at spilled shards.
+	TakeSpilled() []int
+	// ResidentBytes returns the budget-priced bytes currently resident.
+	ResidentBytes() int64
+	// Close releases spill files and directories. The store must not be
+	// used afterwards; Frozen handles taken earlier stay valid until
+	// garbage-collected.
+	Close() error
+}
+
+// NewPostingStore returns the backend selected by cfg: the unbounded
+// in-memory store for a zero config, the disk-spill store for a positive
+// budget. shards must be >= 1 and match the caller's shard layout.
+func NewPostingStore[V any](shards int, codec Codec[V], cfg Config) PostingStore[V] {
+	if shards < 1 {
+		panic(fmt.Sprintf("storage: invalid shard count %d", shards))
+	}
+	if cfg.Enabled() {
+		return newSpillStore[V](shards, codec, cfg)
+	}
+	return newMemStore[V](shards, codec)
+}
+
+// memStore is the default backend: one plain map per shard, no internal
+// locking (the caller's shard mutexes and single-writer contract apply), no
+// spilling. It is behaviorally the pre-seam representation of the blocking
+// index.
+type memStore[V any] struct {
+	codec  Codec[V]
+	shards []map[uint32]V
+	bytes  atomic.Int64
+}
+
+func newMemStore[V any](shards int, codec Codec[V]) *memStore[V] {
+	s := &memStore[V]{codec: codec, shards: make([]map[uint32]V, shards)}
+	for i := range s.shards {
+		s.shards[i] = make(map[uint32]V, 64)
+	}
+	return s
+}
+
+func (s *memStore[V]) NumShards() int { return len(s.shards) }
+
+func (s *memStore[V]) Get(shard int, key uint32) (V, bool) {
+	v, ok := s.shards[shard][key]
+	return v, ok
+}
+
+func (s *memStore[V]) Put(shard int, key uint32, v V) {
+	m := s.shards[shard]
+	delta := s.codec.Size(s.codec.MetaOf(v))
+	if old, ok := m[key]; ok {
+		delta -= s.codec.Size(s.codec.MetaOf(old))
+	}
+	m[key] = v
+	// Atomic because AddBatch shard workers put concurrently (into disjoint
+	// shards) while a metrics scraper may read the total.
+	s.bytes.Add(int64(delta))
+}
+
+func (s *memStore[V]) Delete(shard int, key uint32) {
+	m := s.shards[shard]
+	if old, ok := m[key]; ok {
+		s.bytes.Add(-int64(s.codec.Size(s.codec.MetaOf(old))))
+		delete(m, key)
+	}
+}
+
+func (s *memStore[V]) Contains(shard int, key uint32) bool {
+	_, ok := s.shards[shard][key]
+	return ok
+}
+
+func (s *memStore[V]) Meta(shard int, key uint32) (Meta, bool) {
+	v, ok := s.shards[shard][key]
+	if !ok {
+		return Meta{}, false
+	}
+	return s.codec.MetaOf(v), true
+}
+
+func (s *memStore[V]) Len(shard int) int { return len(s.shards[shard]) }
+
+func (s *memStore[V]) Range(shard int, fn func(key uint32, v V) bool) {
+	for k, v := range s.shards[shard] {
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+func (s *memStore[V]) RangeMeta(shard int, fn func(key uint32, m Meta) bool) {
+	for k, v := range s.shards[shard] {
+		if !fn(k, s.codec.MetaOf(v)) {
+			return
+		}
+	}
+}
+
+func (s *memStore[V]) Maintain()             {}
+func (s *memStore[V]) Spilled(int) bool      { return false }
+func (s *memStore[V]) Frozen(int) *Frozen[V] { return nil }
+func (s *memStore[V]) TakeSpilled() []int    { return nil }
+func (s *memStore[V]) ResidentBytes() int64  { return s.bytes.Load() }
+func (s *memStore[V]) Close() error          { return nil }

@@ -21,6 +21,7 @@ import (
 	"pier/internal/pool"
 	"pier/internal/profile"
 	"pier/internal/snapshot"
+	"pier/internal/storage"
 )
 
 // LiveMatch is one classified pair reported by the live pipeline.
@@ -116,6 +117,34 @@ type LiveConfig struct {
 	// measures the contention of the pre-snapshot read path against the
 	// lock-free one. Production pipelines leave it false.
 	LockedQueryReads bool
+	// Storage bounds the resident memory of the pipeline's two unbounded
+	// structures — the blocking index's posting lists and the executed-pair
+	// dedup set — by spilling cold state to temp files under
+	// Storage.Dir. The budget is split 3:1 between postings and dedup. A
+	// zero config (the default) keeps everything in memory, exactly the
+	// pre-seam behavior; either way the observable pipeline results are
+	// bit-identical (the backend is a residency knob, never a semantic
+	// one). Pipelines with a budget should be Closed after Stop/Interrupt
+	// so spill files are removed promptly.
+	Storage storage.Config
+}
+
+// splitStorage divides the pipeline's storage budget between the posting
+// index (3/4 — posting lists dominate) and the executed-pair dedup set (1/4).
+func splitStorage(cfg storage.Config) (post, dedup storage.Config) {
+	if !cfg.Enabled() {
+		return cfg, cfg
+	}
+	post, dedup = cfg, cfg
+	dedup.Budget = cfg.Budget / 4
+	if dedup.Budget < 1 {
+		dedup.Budget = 1
+	}
+	post.Budget = cfg.Budget - dedup.Budget
+	if post.Budget < 1 {
+		post.Budget = 1
+	}
+	return post, dedup
 }
 
 // LiveResult summarizes a live pipeline run.
@@ -269,7 +298,7 @@ type liveState struct {
 	col      *blocking.Collection
 	clusters *cluster.Set
 	rec      *metrics.Recorder
-	executed map[uint64]struct{}
+	executed storage.DedupStore
 
 	windowIDs         []int // insertion order, for eviction
 	evictedSinceSweep int   // triggers pruning of the executed map
@@ -341,11 +370,12 @@ type ckptRes struct {
 // Live must be finished with Stop (or Interrupt).
 func LiveRun(strategy core.Strategy, cfg LiveConfig) *Live {
 	l := newLive(strategy, cfg)
+	postCfg, dedupCfg := splitStorage(cfg.Storage)
 	st := &liveState{
-		col:      blocking.NewCollectionSharded(cfg.CleanClean, cfg.MaxBlockSize, l.cfg.Keyer, cfg.Shards),
+		col:      blocking.NewCollectionStorage(cfg.CleanClean, cfg.MaxBlockSize, l.cfg.Keyer, cfg.Shards, postCfg),
 		clusters: cluster.New(),
 		rec:      metrics.NewRecorder(l.cfg.GroundTruth, 500),
-		executed: make(map[uint64]struct{}),
+		executed: storage.NewDedupStore(dedupCfg),
 		res:      &liveCounters{},
 		start:    time.Now(),
 	}
@@ -512,6 +542,24 @@ func (l *Live) Interrupt() *LiveResult {
 	return l.result
 }
 
+// Close releases the pipeline's storage backends, removing any spill files.
+// It must follow Stop or Interrupt (the state must be quiescent); it is a
+// no-op for the default in-memory backends, so callers that never set
+// LiveConfig.Storage may skip it. Close is idempotent but the state is not
+// usable — not even checkpointable — afterwards.
+func (l *Live) Close() error {
+	select {
+	case <-l.done:
+	default:
+		return errors.New("stream: Live.Close before Stop/Interrupt")
+	}
+	err := l.st.col.Close()
+	if derr := l.st.executed.Close(); err == nil {
+		err = derr
+	}
+	return err
+}
+
 // loop is the pipeline goroutine: a wall-clock analogue of Run operating on
 // the hoisted state st.
 func (l *Live) loop(st *liveState) {
@@ -553,11 +601,18 @@ func (l *Live) loop(st *liveState) {
 			// to the profiles seen since the previous sweep.
 			if st.evictedSinceSweep >= l.cfg.Window {
 				st.evictedSinceSweep = 0
-				for key := range st.executed {
+				// Collect first, delete after: DedupStore.Range does not
+				// permit mutation from inside the callback.
+				var dead []uint64
+				st.executed.Range(func(key uint64) bool {
 					x, y := profile.SplitPairKey(key)
 					if st.col.Profile(x) == nil || st.col.Profile(y) == nil {
-						delete(st.executed, key)
+						dead = append(dead, key)
 					}
+					return true
+				})
+				for _, key := range dead {
+					st.executed.Delete(key)
 				}
 			}
 		}
@@ -578,7 +633,7 @@ func (l *Live) loop(st *liveState) {
 		l.m.increments.Inc()
 		l.m.incSize.Observe(float64(len(inc)))
 		l.m.ingestSec.Observe(time.Since(t0).Seconds())
-		l.m.dedup.Set(int64(len(st.executed)))
+		l.m.dedup.Set(int64(st.executed.Len()))
 	}
 
 	matchPool := pool.New(l.cfg.Parallelism).Instrument(l.m.matchBusy, nil)
@@ -734,7 +789,7 @@ func (l *Live) processBatch(st *liveState, matchPool, serialPool *pool.Pool, pro
 			// emitted comparison that lost its profiles, and removed from
 			// the dedup map since it will never be counted.
 			l.m.skipped.Inc()
-			delete(st.executed, rj.key)
+			st.executed.Delete(rj.key)
 			continue
 		}
 		jobs = append(jobs, job{key: rj.key, px: px, py: py, attempts: rj.attempts})
@@ -747,7 +802,7 @@ func (l *Live) processBatch(st *liveState, matchPool, serialPool *pool.Pool, pro
 	// Summary would disagree with the Stats() counters.
 	for _, c := range batch {
 		key := c.Key()
-		if _, dup := st.executed[key]; dup {
+		if st.executed.Has(key) {
 			continue
 		}
 		px, py := st.col.Profile(c.X), st.col.Profile(c.Y)
@@ -755,7 +810,7 @@ func (l *Live) processBatch(st *liveState, matchPool, serialPool *pool.Pool, pro
 			l.m.skipped.Inc()
 			continue
 		}
-		st.executed[key] = struct{}{}
+		st.executed.Add(key)
 		jobs = append(jobs, job{key: key, px: px, py: py})
 	}
 	if len(batch) > 0 || nRetry > 0 {
@@ -852,7 +907,7 @@ func (l *Live) requeue(st *liveState, j job) {
 	attempts := j.attempts + 1
 	if l.cfg.RetryBudget > 0 && attempts > l.cfg.RetryBudget {
 		l.m.abandoned.Inc()
-		delete(st.executed, j.key)
+		st.executed.Delete(j.key)
 		return
 	}
 	l.m.requeues.Inc()
@@ -875,7 +930,7 @@ func (l *Live) finishBatch(st *liveState, prober interface{ BreakerOpen() bool }
 	}
 	l.m.pending.Set(int64(l.strategy.Pending()))
 	l.m.retryPending.Set(int64(len(st.retryQ)))
-	l.m.dedup.Set(int64(len(st.executed)))
+	l.m.dedup.Set(int64(st.executed.Len()))
 	if l.cfg.CheckInvariants {
 		l.verifyAccounting(st)
 	}
@@ -895,16 +950,16 @@ func (l *Live) verifyAccounting(st *liveState) {
 	// retry; pruning under Window only ever removes entries, so the map can
 	// fall below the sum but never above it — and with pruning disabled the
 	// two are equal.
-	if len(st.executed) > cmps+len(st.retryQ) {
+	if st.executed.Len() > cmps+len(st.retryQ) {
 		panic(fmt.Sprintf("stream: dedup map holds %d pairs but only %d comparisons were counted (+%d retrying)",
-			len(st.executed), cmps, len(st.retryQ)))
+			st.executed.Len(), cmps, len(st.retryQ)))
 	}
-	if l.cfg.Window <= 0 && len(st.executed) != cmps+len(st.retryQ) {
+	if l.cfg.Window <= 0 && st.executed.Len() != cmps+len(st.retryQ) {
 		panic(fmt.Sprintf("stream: dedup map holds %d pairs but %d comparisons were counted and %d are retrying (no pruning active)",
-			len(st.executed), cmps, len(st.retryQ)))
+			st.executed.Len(), cmps, len(st.retryQ)))
 	}
-	if g := int(l.m.dedup.Value()); g != len(st.executed) {
-		panic(fmt.Sprintf("stream: dedup gauge %d disagrees with map size %d", g, len(st.executed)))
+	if g := int(l.m.dedup.Value()); g != st.executed.Len() {
+		panic(fmt.Sprintf("stream: dedup gauge %d disagrees with map size %d", g, st.executed.Len()))
 	}
 }
 
@@ -1048,7 +1103,7 @@ func (l *Live) writeSnapshot(w io.Writer, st *liveState) (int64, error) {
 	rst := st.rec.State()
 	sw.Gob("recorder", &rst)
 	acc := liveAccounting{
-		Executed:          make([]uint64, 0, len(st.executed)),
+		Executed:          make([]uint64, 0, st.executed.Len()),
 		WindowIDs:         append([]int(nil), st.windowIDs...),
 		EvictedSinceSweep: st.evictedSinceSweep,
 		Retry:             make([]retryImage, 0, len(st.retryQ)),
@@ -1061,9 +1116,10 @@ func (l *Live) writeSnapshot(w io.Writer, st *liveState) (int64, error) {
 		Evictions:         int64(l.m.evictions.Value()),
 		ElapsedNS:         int64(time.Since(st.start)),
 	}
-	for key := range st.executed {
+	st.executed.Range(func(key uint64) bool {
 		acc.Executed = append(acc.Executed, key)
-	}
+		return true
+	})
 	sort.Slice(acc.Executed, func(i, j int) bool { return acc.Executed[i] < acc.Executed[j] })
 	for _, rj := range st.retryQ {
 		acc.Retry = append(acc.Retry, retryImage{Key: rj.key, X: rj.x, Y: rj.y, Attempts: rj.attempts})
@@ -1106,10 +1162,11 @@ func RestoreLive(r io.Reader, strategy core.Strategy, cfg LiveConfig) (*Live, er
 		return nil, fmt.Errorf("stream: snapshot configuration (cleanClean=%v window=%d maxBlockSize=%d) does not match restore configuration (cleanClean=%v window=%d maxBlockSize=%d)",
 			meta.CleanClean, meta.Window, meta.MaxBlockSize, cfg.CleanClean, cfg.Window, cfg.MaxBlockSize)
 	}
+	postCfg, dedupCfg := splitStorage(cfg.Storage)
 	var col *blocking.Collection
 	if err := sr.Section("collection", func(r io.Reader) error {
 		var err error
-		col, err = blocking.LoadSharded(r, cfg.Keyer, cfg.Shards)
+		col, err = blocking.LoadShardedStorage(r, cfg.Keyer, cfg.Shards, postCfg)
 		return err
 	}); err != nil {
 		return nil, err
@@ -1149,7 +1206,7 @@ func RestoreLive(r io.Reader, strategy core.Strategy, cfg LiveConfig) (*Live, er
 		col:               col,
 		clusters:          cluster.Restore(cst),
 		rec:               metrics.RestoreRecorder(rst, l.cfg.GroundTruth),
-		executed:          make(map[uint64]struct{}, len(acc.Executed)),
+		executed:          storage.NewDedupStore(dedupCfg),
 		windowIDs:         append([]int(nil), acc.WindowIDs...),
 		evictedSinceSweep: acc.EvictedSinceSweep,
 		res: &liveCounters{
@@ -1160,12 +1217,12 @@ func RestoreLive(r io.Reader, strategy core.Strategy, cfg LiveConfig) (*Live, er
 		start: time.Now().Add(-time.Duration(acc.ElapsedNS)),
 	}
 	for _, key := range acc.Executed {
-		st.executed[key] = struct{}{}
+		st.executed.Add(key)
 	}
 	for _, ri := range acc.Retry {
 		st.retryQ = append(st.retryQ, retryJob{key: ri.Key, x: ri.X, y: ri.Y, attempts: ri.Attempts})
 	}
-	l.m.dedup.Set(int64(len(st.executed)))
+	l.m.dedup.Set(int64(st.executed.Len()))
 	l.m.retryPending.Set(int64(len(st.retryQ)))
 	if !l.cfg.LockedQueryReads {
 		// Republish the restored index so post-restore queries run lock-free

@@ -8,6 +8,7 @@ import (
 	"pier/internal/dataset"
 	"pier/internal/match"
 	"pier/internal/obsv"
+	"pier/internal/storage"
 )
 
 // TestLiveCheckInvariantsCleanRun drives a full live pipeline with invariant
@@ -55,36 +56,40 @@ func TestVerifyAccountingFiresOnDrift(t *testing.T) {
 		fn()
 	}
 
-	stateWith := func(executed map[uint64]struct{}, retry ...retryJob) *liveState {
-		return &liveState{executed: executed, retryQ: retry}
+	stateWith := func(executed []uint64, retry ...retryJob) *liveState {
+		ded := storage.NewDedupStore(storage.Config{})
+		for _, key := range executed {
+			ded.Add(key)
+		}
+		return &liveState{executed: ded, retryQ: retry}
 	}
 
 	t.Run("matches exceed comparisons", func(t *testing.T) {
 		l := mkLive(0)
 		l.m.matches.Inc()
-		expectPanic(t, "matches exceed", func() { l.verifyAccounting(stateWith(map[uint64]struct{}{})) })
+		expectPanic(t, "matches exceed", func() { l.verifyAccounting(stateWith(nil)) })
 	})
 	t.Run("dedup map larger than counter", func(t *testing.T) {
 		l := mkLive(100) // window on: only the upper bound applies, and it is violated
 		l.m.dedup.Set(1)
-		expectPanic(t, "dedup map holds", func() { l.verifyAccounting(stateWith(map[uint64]struct{}{7: {}})) })
+		expectPanic(t, "dedup map holds", func() { l.verifyAccounting(stateWith([]uint64{7})) })
 	})
 	t.Run("dedup map diverged without pruning", func(t *testing.T) {
 		l := mkLive(0)
 		l.m.cmps.Add(2)
 		l.m.dedup.Set(1)
-		expectPanic(t, "no pruning active", func() { l.verifyAccounting(stateWith(map[uint64]struct{}{7: {}})) })
+		expectPanic(t, "no pruning active", func() { l.verifyAccounting(stateWith([]uint64{7})) })
 	})
 	t.Run("retrying pair balances the dedup map", func(t *testing.T) {
 		// A pair in the dedup map that is awaiting retry is NOT drift: the
 		// sum invariant accepts executed == cmps + |retryQ|.
 		l := mkLive(0)
 		l.m.dedup.Set(1)
-		l.verifyAccounting(stateWith(map[uint64]struct{}{7: {}}, retryJob{key: 7}))
+		l.verifyAccounting(stateWith([]uint64{7}, retryJob{key: 7}))
 	})
 	t.Run("gauge stale", func(t *testing.T) {
 		l := mkLive(0)
 		l.m.cmps.Inc()
-		expectPanic(t, "gauge", func() { l.verifyAccounting(stateWith(map[uint64]struct{}{7: {}})) })
+		expectPanic(t, "gauge", func() { l.verifyAccounting(stateWith([]uint64{7})) })
 	})
 }

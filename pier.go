@@ -337,6 +337,17 @@ type Options struct {
 	// QueryBurst is the per-tenant bucket capacity when QueryRate is set;
 	// 0 means max(1, QueryRate) — one second of traffic.
 	QueryBurst float64
+
+	// StorageBudget bounds the resident memory, in bytes, of the pipeline's
+	// two stream-proportional structures — the blocking index's posting
+	// lists and the executed-pair dedup set. State beyond the budget spills
+	// to temp files (cold shards first) and is read back transparently on
+	// access. 0 (the default) keeps everything in memory. The budget is a
+	// residency knob, never a semantic one: every result, match, and query
+	// answer is bit-identical for every setting. Pipelines with a budget
+	// should be finished with Close after Stop so spill files are removed
+	// promptly.
+	StorageBudget int64
 }
 
 // KeyerFunc derives the blocking keys of a profile. Profiles that share at

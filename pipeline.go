@@ -10,6 +10,7 @@ import (
 	"pier/internal/obsv"
 	"pier/internal/profile"
 	"pier/internal/serve"
+	"pier/internal/storage"
 	"pier/internal/stream"
 )
 
@@ -77,6 +78,7 @@ func build(opt Options) (*Pipeline, core.Strategy, stream.LiveConfig, error) {
 		Keyer:          opt.keyer(),
 		Window:         opt.Window,
 		Metrics:        reg,
+		Storage:        storage.Config{Budget: opt.StorageBudget},
 
 		CheckInvariants: opt.CheckInvariants,
 	}
@@ -248,6 +250,14 @@ func (p *Pipeline) Stop() Summary {
 	}
 	p.mu.Unlock()
 	return s
+}
+
+// Close releases the pipeline's storage backends, removing any spill files
+// created under Options.StorageBudget. It must follow Stop; it is a no-op
+// for the default in-memory backends, so pipelines without a budget may skip
+// it. The pipeline is not usable — not even checkpointable — after Close.
+func (p *Pipeline) Close() error {
+	return p.live.Close()
 }
 
 // Clusters returns the resolved entity clusters (groups of profiles believed
