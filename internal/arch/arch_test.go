@@ -75,7 +75,7 @@ var allowedImports = map[string][]string{
 	"pier/internal/dataset":      {"pier/internal/profile"},
 	"pier/internal/experiments":  {"pier/internal/baseline", "pier/internal/core", "pier/internal/dataset", "pier/internal/match", "pier/internal/stream"},
 	"pier/internal/fault":        {"pier/internal/match", "pier/internal/profile"},
-	"pier/internal/match":        {"pier/internal/obsv", "pier/internal/profile"},
+	"pier/internal/match":        {"pier/internal/intern", "pier/internal/obsv", "pier/internal/profile"},
 	"pier/internal/metablocking": {"pier/internal/blocking", "pier/internal/intern", "pier/internal/profile"},
 	"pier/internal/pool":         {"pier/internal/obsv"},
 	"pier/internal/serve":        {"pier/internal/obsv"},

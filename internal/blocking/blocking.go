@@ -209,7 +209,11 @@ func (c *Collection) addSym(sh *shard, p *profile.Profile, sym intern.Sym) bool 
 		sh.purged[sym] = struct{}{}
 		return false
 	}
-	c.putBlock(sym, b)
+	if ok {
+		c.touchBlock(sym, b)
+	} else {
+		c.putBlock(sym, b)
+	}
 	return true
 }
 

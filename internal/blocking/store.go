@@ -126,6 +126,13 @@ func (c *Collection) putBlock(sym intern.Sym, b *Block) {
 	c.store.Put(int(sym&c.mask), uint32(sym), b)
 }
 
+// touchBlock refreshes the metadata of a block mutated in place through the
+// pointer getBlock returned — the per-token ingest transition's cheap
+// alternative to putBlock when the block already existed.
+func (c *Collection) touchBlock(sym intern.Sym, b *Block) {
+	c.store.Touch(int(sym&c.mask), uint32(sym), b)
+}
+
 // delBlock drops the live block of sym (no-op when absent, without fault-in).
 func (c *Collection) delBlock(sym intern.Sym) {
 	c.store.Delete(int(sym&c.mask), uint32(sym))

@@ -18,11 +18,13 @@ import (
 const parallelThreshold = 4
 
 // genScratch is the reusable per-worker state of candidate generation: the
-// block enumeration and ghosting buffers, the partner accumulator, and the
-// worker's output run. Scratch never influences results — it only recycles
-// allocations — so any worker may process any profile.
+// block enumeration and ghosting buffers, the sweep kernel (dense
+// epoch-stamped partner scratch + denominator caches), and the worker's
+// output run. Scratch never influences results — it only recycles
+// allocations — so any worker may process any profile, and the fan-out stays
+// allocation-flat once every worker's kernel has grown to the ID range.
 type genScratch struct {
-	acc      metablocking.Accumulator
+	kern     metablocking.Kernel
 	blocks   []*blocking.Block
 	filtered []*blocking.Block
 	ghosted  []*blocking.Block
@@ -66,9 +68,10 @@ type generator struct {
 	// internal/check).
 	executed bloom.Membership
 
-	// weigher is the reusable per-pair CBS weigher of the fallback path;
-	// only the (serial) fallback scan touches it.
-	weigher metablocking.Weigher
+	// weigher is the reusable per-pair CBS weighing kernel of the fallback
+	// path (anchor-swept neighbor counts); only the (serial) fallback scan
+	// touches it.
+	weigher metablocking.Kernel
 
 	scratches []genScratch              // one per worker slot; [0] serves the serial path
 	runs      []profRun                 // per-profile output runs of the last fan-out
@@ -128,7 +131,7 @@ func (g *generator) perProfile(sc *genScratch, col *blocking.Collection, p *prof
 		sc.ghosted = blocking.GhostAppend(sc.ghosted[:0], blocks, g.cfg.Beta)
 		blocks = sc.ghosted
 	}
-	cands := sc.acc.Candidates(col, p, blocks, g.cfg.Scheme)
+	cands := sc.kern.Candidates(col, p, blocks, g.cfg.Scheme)
 	sc.cost += g.cfg.Costs.Generate(len(cands))
 	sc.out = append(sc.out, metablocking.IWNP(cands)...)
 }

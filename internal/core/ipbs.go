@@ -64,9 +64,10 @@ type IPBS struct {
 	// drops a never-generated comparison.
 	cf bloom.Membership
 
-	// weigher is the reusable per-pair CBS weigher of emitBlock; I-PBS is
+	// weigher is the reusable per-pair CBS weighing kernel of emitBlock
+	// (anchor-swept neighbor counts, O(1) per partner); I-PBS is
 	// single-writer, so one scratch instance per strategy suffices.
-	weigher metablocking.Weigher
+	weigher metablocking.Kernel
 }
 
 type ciEntry struct {

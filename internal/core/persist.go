@@ -84,7 +84,7 @@ func (g *generator) restore(img generatorImage) {
 	g.scanPos = img.ScanPos
 	g.scanVersion = img.ScanVersion
 	g.scanValid = img.ScanValid
-	g.weigher = metablocking.Weigher{} // cache: rebuilt lazily
+	g.weigher = metablocking.Kernel{} // cache: rebuilt lazily
 }
 
 // ipcsImage is the persisted state of I-PCS.
@@ -189,7 +189,7 @@ func (s *IPBS) LoadState(r io.Reader) error {
 	s.minHeap.Restore(heap)
 	s.cf = bloom.RestoreMembership(img.CF)
 	s.InvertRefill = img.InvertRefill
-	s.weigher = metablocking.Weigher{}
+	s.weigher = metablocking.Kernel{}
 	return nil
 }
 

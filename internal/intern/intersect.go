@@ -1,0 +1,80 @@
+package intern
+
+import "cmp"
+
+// gallopFactor is the size ratio past which IntersectCount switches from the
+// linear two-pointer merge to galloping: when one side is at least this many
+// times longer than the other, exponential probing beats scanning. The
+// crossover is shallow (both are cheap); 8 keeps the common similar-size case
+// on the branch-predictable merge.
+const gallopFactor = 8
+
+// IntersectCount returns |a ∩ b| for two sorted slices with no duplicate
+// elements — the shared set-intersection primitive behind the meta-blocking
+// reference weigher ([]Sym block sets) and the matcher's token-set measures.
+// It is a two-pointer/galloping hybrid: similarly sized inputs take one
+// linear merge; when one side dwarfs the other, each element of the short
+// side gallops (exponential probe, then binary search) through the long one,
+// giving O(short · log(long/short)) instead of O(long).
+func IntersectCount[T cmp.Ordered](a, b []T) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	n := 0
+	if len(b) >= gallopFactor*len(a) {
+		lo := 0
+		for _, x := range a {
+			lo = gallop(b, lo, x)
+			if lo == len(b) {
+				break
+			}
+			if b[lo] == x {
+				n++
+				lo++
+			}
+		}
+		return n
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case b[j] < a[i]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// gallop returns the smallest index k in [lo, len(b)] with b[k] >= x, probing
+// exponentially from lo and binary-searching the final bracket. Successive
+// calls with ascending x pass the previous result as lo, so a run of probes
+// walks b monotonically.
+func gallop[T cmp.Ordered](b []T, lo int, x T) int {
+	hi, step := lo, 1
+	for hi < len(b) && b[hi] < x {
+		lo = hi + 1
+		hi += step
+		step <<= 1
+	}
+	if hi > len(b) {
+		hi = len(b)
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,114 @@
+package intern
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// refIntersect is the obvious two-pointer reference the hybrid must match.
+func refIntersect(a, b []uint32) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+func sortedSet(rng *rand.Rand, n, universe int) []uint32 {
+	seen := make(map[uint32]struct{}, n)
+	for len(seen) < n {
+		seen[uint32(rng.Intn(universe))] = struct{}{}
+	}
+	out := make([]uint32, 0, n)
+	for v := range seen {
+		out = append(out, v)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func TestIntersectCountBasics(t *testing.T) {
+	cases := []struct {
+		a, b []uint32
+		want int
+	}{
+		{nil, nil, 0},
+		{[]uint32{1}, nil, 0},
+		{[]uint32{1, 2, 3}, []uint32{2, 3, 4}, 2},
+		{[]uint32{1, 2, 3}, []uint32{4, 5, 6}, 0},
+		{[]uint32{5}, []uint32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}, 1},
+		{[]uint32{0, 15}, []uint32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}, 2},
+	}
+	for _, c := range cases {
+		if got := IntersectCount(c.a, c.b); got != c.want {
+			t.Errorf("IntersectCount(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := IntersectCount(c.b, c.a); got != c.want {
+			t.Errorf("IntersectCount(%v, %v) = %d, want %d (symmetry)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestIntersectCountStrings(t *testing.T) {
+	a := []string{"alpha", "delta", "gamma"}
+	b := []string{"alpha", "beta", "gamma", "omega"}
+	if got := IntersectCount(a, b); got != 2 {
+		t.Errorf("string IntersectCount = %d, want 2", got)
+	}
+}
+
+// TestIntersectCountMatchesReference sweeps size ratios across the
+// two-pointer/gallop crossover, pinning the hybrid to the linear reference.
+func TestIntersectCountMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		la := rng.Intn(40)
+		lb := rng.Intn(40)
+		if trial%3 == 0 { // force deep into gallop territory
+			lb = la*gallopFactor + rng.Intn(400)
+		}
+		universe := 1 + rng.Intn(600)
+		if la > universe {
+			la = universe
+		}
+		if lb > universe {
+			lb = universe
+		}
+		a := sortedSet(rng, la, universe)
+		b := sortedSet(rng, lb, universe)
+		want := refIntersect(a, b)
+		if got := IntersectCount(a, b); got != want {
+			t.Fatalf("trial %d: IntersectCount(|a|=%d, |b|=%d) = %d, want %d\na=%v\nb=%v",
+				trial, la, lb, got, want, a, b)
+		}
+		if got := IntersectCount(b, a); got != want {
+			t.Fatalf("trial %d: IntersectCount symmetric call = %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestGallopFindsLowerBound(t *testing.T) {
+	b := []uint32{2, 4, 6, 8, 10, 12, 14}
+	for lo := 0; lo <= len(b); lo++ {
+		for x := uint32(0); x <= 16; x++ {
+			got := gallop(b, lo, x)
+			want := lo
+			for want < len(b) && b[want] < x {
+				want++
+			}
+			if got != want {
+				t.Fatalf("gallop(b, %d, %d) = %d, want %d", lo, x, got, want)
+			}
+		}
+	}
+}

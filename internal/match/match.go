@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"time"
 
+	"pier/internal/intern"
 	"pier/internal/profile"
 )
 
@@ -68,20 +69,7 @@ func Jaccard(a, b []string) float64 {
 	if len(a) == 0 && len(b) == 0 {
 		return 1
 	}
-	inter := 0
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			inter++
-			i++
-			j++
-		case a[i] < b[j]:
-			i++
-		default:
-			j++
-		}
-	}
+	inter := intern.IntersectCount(a, b)
 	union := len(a) + len(b) - inter
 	return float64(inter) / float64(union)
 }
@@ -183,13 +171,13 @@ func (m Matcher) Similarity(a, b *profile.Profile) float64 {
 	case JW:
 		return JaroWinkler(truncRunes(a.JoinedValues(), EDMaxLen), truncRunes(b.JoinedValues(), EDMaxLen))
 	case COS:
-		return Cosine(a.Tokens(), b.Tokens())
+		return cosineSyms(tokenSyms(a), tokenSyms(b))
 	case OVL:
-		return Overlap(a.Tokens(), b.Tokens())
+		return overlapSyms(tokenSyms(a), tokenSyms(b))
 	case ME:
 		return MongeElkan(a.Tokens(), b.Tokens())
 	default:
-		return Jaccard(a.Tokens(), b.Tokens())
+		return jaccardSyms(tokenSyms(a), tokenSyms(b))
 	}
 }
 

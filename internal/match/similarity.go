@@ -2,7 +2,10 @@ package match
 
 import (
 	"math"
-	"strings"
+	"slices"
+
+	"pier/internal/intern"
+	"pier/internal/profile"
 )
 
 // Additional similarity functions beyond the paper's JS/ED pair, rounding
@@ -10,6 +13,72 @@ import (
 // measures for names (Jaro, Jaro-Winkler), token-set measures (overlap
 // coefficient, cosine), and the hybrid Monge-Elkan measure that matches
 // token lists through a secondary string similarity.
+//
+// The token-set measures come in two forms: the exported string-slice
+// versions (the reference API, still used directly by tests and callers with
+// raw token lists) and unexported symbol-set versions the Matcher hot path
+// uses — each profile's token set is interned once into a sorted []uint32
+// (cached on the profile), and every subsequent comparison is an integer
+// intersection instead of a string one. Set cardinalities are preserved by
+// the interning bijection, so both forms compute identical values; the
+// differential tests in similarity_test.go pin that.
+
+// simTab interns matcher tokens to dense symbols. It is match's own table —
+// distinct from the blocking index's — because the matcher also runs on
+// probe profiles and in batch tools where no collection exists. Append-only
+// and concurrency-safe, so parallel match workers share it freely.
+var simTab = intern.New(1 << 12)
+
+// encodeTokens is the profile.TokenSyms encoder: intern every token, sort.
+// Tokens() is deduplicated, and interning is injective, so the result is a
+// sorted duplicate-free symbol set.
+func encodeTokens(toks []string) []uint32 {
+	out := make([]uint32, len(toks))
+	for i, t := range toks {
+		out[i] = uint32(simTab.Intern(t))
+	}
+	slices.Sort(out)
+	return out
+}
+
+// tokenSyms returns the profile's cached sorted symbol set.
+func tokenSyms(p *profile.Profile) []uint32 {
+	return p.TokenSyms(encodeTokens)
+}
+
+// jaccardSyms is Jaccard over symbol sets; see Jaccard for the semantics.
+func jaccardSyms(a, b []uint32) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := intern.IntersectCount(a, b)
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// overlapSyms is the overlap coefficient over symbol sets; see Overlap.
+func overlapSyms(a, b []uint32) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := intern.IntersectCount(a, b)
+	return float64(inter) / float64(min(len(a), len(b)))
+}
+
+// cosineSyms is the set cosine similarity over symbol sets; see Cosine.
+func cosineSyms(a, b []uint32) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := intern.IntersectCount(a, b)
+	return float64(inter) / math.Sqrt(float64(len(a))*float64(len(b)))
+}
 
 // Jaro returns the Jaro similarity of two strings in [0, 1].
 func Jaro(a, b string) float64 {
@@ -97,12 +166,8 @@ func Overlap(a, b []string) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
-	inter := intersectSize(a, b)
-	min := len(a)
-	if len(b) < min {
-		min = len(b)
-	}
-	return float64(inter) / float64(min)
+	inter := intern.IntersectCount(a, b)
+	return float64(inter) / float64(min(len(a), len(b)))
 }
 
 // Cosine returns the set cosine similarity |a ∩ b| / sqrt(|a|·|b|) of two
@@ -114,7 +179,7 @@ func Cosine(a, b []string) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
-	inter := intersectSize(a, b)
+	inter := intern.IntersectCount(a, b)
 	return float64(inter) / math.Sqrt(float64(len(a))*float64(len(b)))
 }
 
@@ -147,22 +212,4 @@ func mongeElkanDirected(a, b []string) float64 {
 		total += best
 	}
 	return total / float64(len(a))
-}
-
-// intersectSize counts common elements of two sorted slices.
-func intersectSize(a, b []string) int {
-	n, i, j := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		switch strings.Compare(a[i], b[j]) {
-		case 0:
-			n++
-			i++
-			j++
-		case -1:
-			i++
-		default:
-			j++
-		}
-	}
-	return n
 }

@@ -104,24 +104,34 @@ func (s Scheme) String() string {
 func (s Scheme) weigh(col *blocking.Collection, x, y, common int, arcsSum float64) float64 {
 	switch s {
 	case JSScheme:
-		bx, by := col.NumBlocksOf(x), col.NumBlocksOf(y)
-		union := bx + by - common
-		if union <= 0 {
-			return 0
-		}
-		return float64(common) / float64(union)
+		return weighJS(common, col.NumBlocksOf(x), col.NumBlocksOf(y))
 	case ECBS:
-		total := col.NumBlocks()
-		bx, by := col.NumBlocksOf(x), col.NumBlocksOf(y)
-		if bx == 0 || by == 0 || total == 0 {
-			return 0
-		}
-		return float64(common) * math.Log(float64(total)/float64(bx)) * math.Log(float64(total)/float64(by))
+		return weighECBS(common, col.NumBlocks(), col.NumBlocksOf(x), col.NumBlocksOf(y))
 	case ARCS:
 		return arcsSum
 	default: // CBS
 		return float64(common)
 	}
+}
+
+// weighJS is the Jaccard formula over pre-fetched block-set cardinalities.
+// Factored out so the sweep kernel's cached-denominator path evaluates the
+// byte-identical float expression as the reference weigher.
+func weighJS(common, bx, by int) float64 {
+	union := bx + by - common
+	if union <= 0 {
+		return 0
+	}
+	return float64(common) / float64(union)
+}
+
+// weighECBS is the ECBS formula over pre-fetched cardinalities; see weighJS on
+// why it is factored out.
+func weighECBS(common, total, bx, by int) float64 {
+	if bx == 0 || by == 0 || total == 0 {
+		return 0
+	}
+	return float64(common) * math.Log(float64(total)/float64(bx)) * math.Log(float64(total)/float64(by))
 }
 
 // Candidates generates the weighted comparisons of a newly arrived profile p
@@ -175,7 +185,7 @@ func (g *Accumulator) Candidates(col *blocking.Collection, p *profile.Profile, b
 		clear(g.partners)
 	}
 	consider := func(ids []int, b *blocking.Block) {
-		inv := 1.0 / float64(maxInt(1, b.Comparisons(col.CleanClean())))
+		inv := 1.0 / float64(max(1, b.Comparisons(col.CleanClean())))
 		size := b.Size()
 		for _, id := range ids {
 			if id >= p.ID {
@@ -258,38 +268,20 @@ func IWNP(cs []Comparison) []Comparison {
 	return out
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // SharedBlocks counts the live blocks shared by profiles x and y — the exact
 // CBS weight of the pair, computed by sorted symbol intersection (two integer
-// slices, no per-pair map allocation). It is the one-shot convenience; the
-// block-scan hot paths (I-PBS, PBS, fallback scans) use a Weigher, which
-// additionally amortizes the anchor profile's symbol set across the pairs of
-// one block.
+// slices, no per-pair map allocation). It is the reference implementation the
+// differential battery pins the sweep kernel against, and the one-shot
+// convenience; the block-scan hot paths (I-PBS, fallback scans) use a
+// Kernel, which amortizes one neighbor-counting sweep over the anchor's
+// blocks across all the pairs of a scan, and the batch baseline keeps a
+// Weigher for the same reason.
 func SharedBlocks(col *blocking.Collection, x, y int) int {
 	sx := col.AppendLiveSymsOf(x, nil)
 	sy := col.AppendLiveSymsOf(y, nil)
 	slices.Sort(sx)
 	slices.Sort(sy)
-	n, i, j := 0, 0, 0
-	for i < len(sx) && j < len(sy) {
-		switch {
-		case sx[i] < sy[j]:
-			i++
-		case sx[i] > sy[j]:
-			j++
-		default:
-			n++
-			i++
-			j++
-		}
-	}
-	return n
+	return intern.IntersectCount(sx, sy)
 }
 
 // Weigher is a reusable per-pair CBS weigher for block-scan candidate

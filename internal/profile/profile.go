@@ -59,6 +59,9 @@ type Profile struct {
 	tokOnce sync.Once
 	tokens  []string
 
+	symOnce sync.Once
+	syms    []uint32
+
 	joinOnce sync.Once
 	joined   string
 }
@@ -95,6 +98,17 @@ func (p *Profile) Tokens() []string {
 		sort.Strings(p.tokens)
 	})
 	return p.tokens
+}
+
+// TokenSyms returns the profile's token set encoded through enc — typically
+// sorted dense symbols from an interning table — computed once on first use
+// and cached. The profile package stays stdlib-only, so the encoder is
+// injected: the matcher owns the table and always passes the same encoder,
+// which is the contract this cache relies on (only the first encoder ever
+// runs). Callers must not mutate the result.
+func (p *Profile) TokenSyms(enc func([]string) []uint32) []uint32 {
+	p.symOnce.Do(func() { p.syms = enc(p.Tokens()) })
+	return p.syms
 }
 
 // JoinedValues returns all attribute values concatenated with single spaces,

@@ -195,6 +195,10 @@ func (s *spillStore[V]) Put(shard int, key uint32, v V) {
 	s.invalidateSeg(sh)
 }
 
+// Touch must do Put's full work here: the resident meta map is captured at
+// write time, and the mutated shard's segment must be marked stale.
+func (s *spillStore[V]) Touch(shard int, key uint32, v V) { s.Put(shard, key, v) }
+
 func (s *spillStore[V]) Delete(shard int, key uint32) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

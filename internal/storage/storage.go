@@ -110,6 +110,14 @@ type PostingStore[V any] interface {
 	// Put inserts or replaces the value under key and refreshes its
 	// metadata. Putting into a spilled shard faults it in first.
 	Put(shard int, key uint32, v V)
+	// Touch is Put for a value that is already stored under key and was
+	// mutated in place through the pointer Get returned: it refreshes the
+	// entry's derived metadata and pricing without the map write. Backends
+	// whose Meta reads the live value directly make it a no-op, which is
+	// what earns the in-place ingest hot path its saving. Calling Touch for
+	// a key that is absent (or maps to a different value) is a contract
+	// violation.
+	Touch(shard int, key uint32, v V)
 	// Delete removes the key if present (faulting the shard in when needed);
 	// absent keys are a no-op without fault-in.
 	Delete(shard int, key uint32)
@@ -199,6 +207,11 @@ func (s *memStore[V]) Put(shard int, key uint32, v V) {
 	// shards) while a metrics scraper may read the total.
 	s.bytes.Add(int64(delta))
 }
+
+// Touch is a no-op: Meta and pricing read the live value through the stored
+// pointer, so an in-place mutation is already visible, and a same-pointer
+// re-Put's pricing delta is zero by construction.
+func (s *memStore[V]) Touch(shard int, key uint32, v V) {}
 
 func (s *memStore[V]) Delete(shard int, key uint32) {
 	m := s.shards[shard]

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"pier/internal/blocking"
@@ -79,6 +80,13 @@ type probeAcc struct {
 	arcs   float64
 }
 
+// probeKernels pools the probe-side sweep scratch across queries: a kernel's
+// dense epoch-stamped arrays replace the per-query partner map, so a warm
+// query accumulates its candidates with zero allocation. Pool size is bounded
+// by query concurrency (the admission gate's in-flight cap); kernels never
+// touch the collection, only the member lists of the pinned posting views.
+var probeKernels = sync.Pool{New: func() any { return new(metablocking.Kernel) }}
+
 // Query resolves probe against the live index: tokenize the probe, look up
 // its posting lists, rank the co-blocked partners with the configured
 // weighting scheme, and run the matcher on the top-K. It is safe to call
@@ -113,38 +121,36 @@ func (l *Live) Query(ctx context.Context, probe *profile.Profile, opt QueryOptio
 	// shared-block count, ARCS reciprocal sum — exactly as incremental
 	// candidate generation does for an arriving profile, except partners are
 	// not restricted to smaller IDs: the probe is outside the stream, so
-	// every indexed profile is a legitimate partner.
-	partners := make(map[int]probeAcc)
-	consider := func(ids []int, inv float64) {
-		for _, id := range ids {
-			a := partners[id]
-			a.common++
-			a.arcs += inv
-			partners[id] = a
-		}
-	}
+	// every indexed profile is a legitimate partner. The pooled sweep kernel
+	// replaces the per-query partner map; it only ever reads the pinned
+	// posting views, never the live collection.
+	kern := probeKernels.Get().(*metablocking.Kernel)
+	kern.BeginProbe()
 	for _, p := range postings {
-		inv := 1.0 / float64(maxInt(1, p.Comparisons(l.cfg.CleanClean)))
+		inv := 1.0 / float64(max(1, p.Comparisons(l.cfg.CleanClean)))
 		if l.cfg.CleanClean {
 			if probe.Source == profile.SourceA {
-				consider(p.B, inv)
+				kern.Accumulate(p.B, inv)
 			} else {
-				consider(p.A, inv)
+				kern.Accumulate(p.A, inv)
 			}
 		} else {
-			consider(p.A, inv)
-			consider(p.B, inv)
+			kern.Accumulate(p.A, inv)
+			kern.Accumulate(p.B, inv)
 		}
 	}
 
+	partners := kern.Partners()
 	cands := make([]QueryCandidate, 0, len(partners))
 	bProbe := len(postings) // |B(probe)|: live blocks the probe would occupy
-	for id, a := range partners {
+	for _, id := range partners {
+		common, arcs := kern.ProbeStats(id)
 		cands = append(cands, QueryCandidate{
 			ID:     id,
-			Weight: l.probeWeigh(view, bProbe, id, a),
+			Weight: l.probeWeigh(view, bProbe, id, probeAcc{common: common, arcs: arcs}),
 		})
 	}
+	probeKernels.Put(kern)
 	// Best weight first; ties by ascending partner ID so concurrent queries
 	// for the same probe rank identically.
 	sort.Slice(cands, func(i, j int) bool {
@@ -256,13 +262,6 @@ func (l *Live) queryMatch(ctx context.Context, probe, y *profile.Profile) (ok bo
 	}
 	sim = l.cfg.Matcher.Similarity(probe, y)
 	return sim >= l.cfg.Matcher.Threshold, sim, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // logRatio is log(total/part) — the ECBS inverse block-frequency factor.
